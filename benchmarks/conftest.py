@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper by calling the
+corresponding runner in :mod:`repro.experiments.runners` exactly once
+(``rounds=1``) and printing the rows/series the paper reports.  Absolute
+numbers differ from the paper (the substrate is a scaled-down synthetic
+simulation; see DESIGN.md), but the qualitative shape is asserted where it is
+stable at benchmark scale.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — "bench" (default, minutes) or "full" (slower,
+  closer to the paper's protocol).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run ``func(**kwargs)`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

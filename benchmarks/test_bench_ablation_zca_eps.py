@@ -1,0 +1,12 @@
+"""Benchmark (extra ablation): sensitivity of WhitenRec to the ZCA epsilon ridge."""
+
+from conftest import run_once
+from repro.experiments.runners import run_ablation_zca_epsilon
+
+
+def test_ablation_zca_epsilon(benchmark, scale):
+    result = run_once(benchmark, run_ablation_zca_epsilon, dataset="arts",
+                      scale=scale, epsilons=(1e-2, 1e-5), epochs=5)
+    print("\n" + result["table"])
+    for values in result["results"].values():
+        assert 0.0 <= values["recall@20"] <= 1.0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 2 — singular value spectrum of text embeddings."""
+
+from conftest import run_once
+from repro.experiments.runners import run_fig2_singular_values
+
+
+def test_fig2_singular_values(benchmark, scale):
+    result = run_once(benchmark, run_fig2_singular_values, dataset="arts", scale=scale)
+    values = result["singular_values"]
+    print("\nFigure 2 — normalised singular values (Arts, first 10):")
+    print("  " + " ".join(f"{v:.3f}" for v in values[:10]))
+    print(f"  mean pairwise cosine = {result['mean_pairwise_cosine']:.3f}")
+    # Paper shape: anisotropic space — high mean cosine, fast spectral decay.
+    assert result["mean_pairwise_cosine"] > 0.5
+    assert values[0] == 1.0
+    assert values[min(9, len(values) - 1)] < 0.5

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 3 — t-SNE of raw vs whitened item embeddings."""
+
+from conftest import run_once
+from repro.experiments.runners import run_fig3_tsne
+
+
+def test_fig3_tsne(benchmark, scale):
+    result = run_once(benchmark, run_fig3_tsne, dataset="arts", scale=scale,
+                      groups=("raw", 1, 4, 32), max_points=200)
+    print("\nFigure 3 — 2-D spread ratio (min/max std of the projection):")
+    for label, ratio in result["spread_ratio"].items():
+        print(f"  {label:6s}: {ratio:.3f}")
+    # Paper shape: the fully whitened cloud (G=1) is the most spherically
+    # symmetric; the raw cloud is the most elongated.
+    assert result["spread_ratio"]["G=1"] >= result["spread_ratio"]["Raw"]

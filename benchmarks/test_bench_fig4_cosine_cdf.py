@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 — cosine-similarity CDF per whitening strength."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments.runners import run_fig4_cosine_cdf
+
+
+def test_fig4_cosine_cdf(benchmark, scale):
+    result = run_once(benchmark, run_fig4_cosine_cdf, dataset="arts", scale=scale,
+                      groups=("raw", 1, 4, 8, 16))
+    print("\nFigure 4 — P(cosine <= 0.5) per whitening strength (Arts):")
+    at_half = {}
+    for label, (grid, cdf) in result["cdfs"].items():
+        index = int(np.searchsorted(grid, 0.5))
+        at_half[label] = cdf[index]
+        print(f"  G={label:4s}: {cdf[index]:.3f}")
+    # Paper shape: stronger whitening (smaller G) concentrates the CDF at low
+    # similarity; the raw embeddings keep most pairs above 0.5.
+    assert at_half["1"] > at_half["Raw"]
+    assert at_half["1"] >= at_half["16"] - 0.05

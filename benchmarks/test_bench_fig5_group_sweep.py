@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 5 — WhitenRec performance vs whitening groups G."""
+
+from conftest import run_once
+from repro.experiments.runners import run_fig5_group_sweep
+
+
+def test_fig5_group_sweep(benchmark, scale):
+    result = run_once(benchmark, run_fig5_group_sweep, dataset="arts", scale=scale,
+                      groups=(1, 8, 32), epochs=5)
+    print("\n" + result["table"])
+    series = result["series"]
+    # Paper shape: small G (stronger decorrelation) is at least competitive
+    # with heavily relaxed whitening.
+    assert series[1]["recall@20"] >= series[32]["recall@20"] - 0.02

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 6 — alignment / uniformity of learned representations."""
+
+from conftest import run_once
+from repro.experiments.runners import run_fig6_alignment_uniformity
+
+
+def test_fig6_alignment_uniformity(benchmark, scale):
+    models = ("sasrec_id", "sasrec_t", "whitenrec", "whitenrec_plus")
+    result = run_once(benchmark, run_fig6_alignment_uniformity,
+                      datasets=("arts",), models=models, scale=scale)
+    print()
+    for table in result["tables"].values():
+        print(table)
+        print()
+    stats = result["results"]["arts"]
+    # Paper shape: the whitening-based models achieve better (lower) user
+    # uniformity than the raw-text model.
+    assert (stats["WhitenRec (T)"]["user_uniformity"]
+            <= stats["SASRec (T)"]["user_uniformity"] + 0.1)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 8 — WhitenRec+ relaxed-branch group sweep."""
+
+from conftest import run_once
+from repro.experiments.runners import run_fig8_whitenrec_plus_groups
+
+
+def test_fig8_whitenrec_plus_groups(benchmark, scale):
+    result = run_once(benchmark, run_fig8_whitenrec_plus_groups, dataset="arts",
+                      scale=scale, groups=(4, 32, "raw"), epochs=5)
+    print("\n" + result["table"])
+    assert set(result["series"]) == {"4", "32", "Raw"}
+    for metrics in result["series"].values():
+        assert 0.0 <= metrics["recall@20"] <= 1.0

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table II — dataset statistics."""
+
+from conftest import run_once
+from repro.experiments.runners import run_table2_dataset_statistics
+
+
+def test_table2_dataset_statistics(benchmark, scale):
+    result = run_once(benchmark, run_table2_dataset_statistics, scale=scale)
+    print("\n" + result["table"])
+    stats = result["statistics"]
+    assert set(stats) == {"arts", "toys", "tools", "food"}
+    # Paper shape: Food has the longest average user sequences (Avg. n) of
+    # the four datasets, and every dataset is non-trivial.
+    assert stats["food"].avg_sequence_length == max(
+        s.avg_sequence_length for s in stats.values()
+    )
+    for s in stats.values():
+        assert s.num_users > 100 and s.num_items > 50 and s.num_interactions > 1000

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table V — projection head ablation for WhitenRec+."""
+
+from conftest import run_once
+from repro.experiments.runners import run_table5_projection_head
+
+
+def test_table5_projection_head(benchmark, scale):
+    result = run_once(benchmark, run_table5_projection_head, dataset="arts",
+                      scale=scale, heads=("linear", "mlp-1", "mlp-2", "mlp-3", "moe"),
+                      epochs=5)
+    print("\n" + result["table"])
+    metrics = result["results"]
+    # Paper shape: a non-linear MLP head beats the purely linear head.
+    best_mlp = max(metrics["MLP-2"]["recall@20"], metrics["MLP-3"]["recall@20"],
+                   metrics["MLP-1"]["recall@20"])
+    assert best_mlp >= metrics["LINEAR"]["recall@20"] - 0.01

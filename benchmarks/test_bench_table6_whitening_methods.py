@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table VI — whitening method ablation for WhitenRec+."""
+
+from conftest import run_once
+from repro.experiments.runners import run_table6_whitening_methods
+
+
+def test_table6_whitening_methods(benchmark, scale):
+    result = run_once(benchmark, run_table6_whitening_methods, dataset="arts",
+                      scale=scale, epochs=5)
+    print("\n" + result["table"])
+    metrics = result["results"]
+    # Paper shape: the non-parametric full-whitening methods (ZCA / CD) beat
+    # the parametric whitening (PW) baseline.
+    best_full = max(metrics["ZCA"]["recall@20"], metrics["CD"]["recall@20"])
+    assert best_full >= metrics["PW"]["recall@20"] - 0.01

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table VII — ensemble method ablation (Sum / Concat / Attn)."""
+
+from conftest import run_once
+from repro.experiments.runners import run_table7_ensemble_methods
+
+
+def test_table7_ensemble_methods(benchmark, scale):
+    result = run_once(benchmark, run_table7_ensemble_methods, dataset="arts",
+                      scale=scale, epochs=5)
+    print("\n" + result["table"])
+    metrics = result["results"]
+    assert set(metrics) == {"Sum", "Concat", "Attn"}
+    for values in metrics.values():
+        assert 0.0 <= values["recall@20"] <= 1.0

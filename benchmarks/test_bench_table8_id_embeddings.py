@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table VIII — effect of adding ID embeddings."""
+
+from conftest import run_once
+from repro.experiments.runners import run_table8_id_embeddings
+
+
+def test_table8_id_embeddings(benchmark, scale):
+    result = run_once(benchmark, run_table8_id_embeddings, datasets=("arts",),
+                      scale=scale, epochs=5)
+    print()
+    for table in result["tables"].values():
+        print(table)
+        print()
+    metrics = result["results"]["arts"]
+    assert set(metrics) == {"WhitenRec (T)", "WhitenRec (T+ID)",
+                            "WhitenRec+ (T)", "WhitenRec+ (T+ID)"}
+    for values in metrics.values():
+        assert 0.0 <= values["recall@20"] <= 1.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table IX — efficiency (parameters and time per epoch)."""
+
+from conftest import run_once
+from repro.experiments.runners import run_table9_efficiency
+
+
+def test_table9_efficiency(benchmark, scale):
+    result = run_once(benchmark, run_table9_efficiency, dataset="tools", scale=scale)
+    print("\n" + result["table"])
+    metrics = result["results"]
+    # Paper shape: WhitenRec/WhitenRec+ (text-only) have fewer parameters than
+    # UniSRec, and adding ID embeddings substantially increases parameters.
+    assert metrics["WhitenRec (T)"]["#params"] <= metrics["UniSRec (T)"]["#params"]
+    assert metrics["WhitenRec (T+ID)"]["#params"] > metrics["WhitenRec (T)"]["#params"]
+    assert metrics["WhitenRec+ (T)"]["#params"] == metrics["WhitenRec (T)"]["#params"]

@@ -1,0 +1,60 @@
+"""Cold-start recommendation with text-only models (paper Table IV scenario).
+
+15% of the items are removed from the training data entirely; the evaluation
+asks each model to rank those never-seen items as targets.  ID embeddings are
+useless here (they are never trained for cold items), which is exactly the
+setting where text-based item representations — and the WhitenRec+ ensemble
+of fully and relaxed whitened features — shine.
+
+Run with::
+
+    python examples/cold_start.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_metric_table
+from repro.data import cold_start_split, load_dataset
+from repro.models import ModelConfig, build_model
+from repro.text import encode_items
+from repro.training import Trainer, TrainingConfig
+
+
+def main() -> None:
+    dataset = load_dataset("tools", scale="tiny", seed=11)
+    split = cold_start_split(dataset.interactions, cold_fraction=0.15, seed=11)
+    print(f"dataset: {dataset.name}  cold items: {len(split.cold_items)}  "
+          f"cold test cases: {len(split.test)}")
+
+    features = encode_items(dataset.items, embedding_dim=32, seed=11)
+    model_config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
+                               dropout=0.2, max_seq_length=20, seed=11)
+    training_config = TrainingConfig(num_epochs=6, learning_rate=3e-3,
+                                     max_sequence_length=20, seed=11)
+
+    # The Table IV line-up: text-only models that can generalise to unseen items.
+    contenders = [
+        ("SASRec (T)", "sasrec_t", {}),
+        ("WhitenRec G=1 (T)", "whitenrec", {"num_groups": 1}),
+        ("WhitenRec G>1 (T)", "whitenrec", {"num_groups": 4}),
+        ("WhitenRec+ (T)", "whitenrec_plus", {}),
+    ]
+
+    results = {}
+    for label, name, kwargs in contenders:
+        model = build_model(name, dataset.num_items, feature_table=features,
+                            train_sequences=split.train_sequences,
+                            config=model_config, **kwargs)
+        print(f"training {label} ...")
+        outcome = Trainer(model, split, training_config).fit()
+        results[label] = outcome.test_metrics
+
+    print()
+    print(format_metric_table(results, metric_order=["recall@20", "ndcg@20"],
+                              title="Cold-start ranking of never-seen items:"))
+    print("\nItem-ID embeddings cannot rank unseen items at all — text features"
+          "\n(and especially their whitened ensembles) are what make this possible.")
+
+
+if __name__ == "__main__":
+    main()

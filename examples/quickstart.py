@@ -1,0 +1,65 @@
+"""Quickstart: train WhitenRec on a synthetic Amazon-style dataset.
+
+This example walks through the full pipeline of the reproduction:
+
+1. generate a synthetic "Arts" dataset (catalogue + user sequences);
+2. encode the item texts with the frozen anisotropic "pre-trained" encoder;
+3. inspect the anisotropy of the raw embeddings (the paper's Sec. III-B);
+4. train SASRec_T (raw text) and WhitenRec (ZCA-whitened text);
+5. compare Recall@20 / NDCG@20 on the held-out test set.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_embeddings, format_metric_table
+from repro.data import leave_one_out_split, load_dataset
+from repro.models import ModelConfig, SASRecText, WhitenRec
+from repro.text import encode_items, strip_padding_row
+from repro.training import Trainer, TrainingConfig
+
+
+def main() -> None:
+    # 1. Data: a scaled-down synthetic stand-in for Amazon "Arts".
+    dataset = load_dataset("arts", scale="tiny", seed=7)
+    split = leave_one_out_split(dataset.interactions)
+    print(f"dataset: {dataset.name}  users={dataset.interactions.num_users}  "
+          f"items={dataset.num_items}  interactions={dataset.interactions.num_interactions}")
+
+    # 2. Frozen pre-trained text embeddings for every item (row 0 = padding).
+    features = encode_items(dataset.items, embedding_dim=32, seed=7)
+
+    # 3. The embeddings are anisotropic, exactly like BERT's (Sec. III-B).
+    report = analyze_embeddings(strip_padding_row(features))
+    print(f"mean pairwise cosine similarity of raw text embeddings: "
+          f"{report.mean_cosine:.3f} (anisotropic: {report.is_anisotropic()})")
+
+    # 4. Train the raw-text baseline and WhitenRec with identical settings.
+    model_config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
+                               dropout=0.2, max_seq_length=20, seed=7)
+    training_config = TrainingConfig(num_epochs=6, learning_rate=3e-3,
+                                     max_sequence_length=20, seed=7)
+
+    results = {}
+    for name, model in [
+        ("SASRec_T (raw text)", SASRecText(dataset.num_items, features, model_config)),
+        ("WhitenRec (ZCA)", WhitenRec(dataset.num_items, features, model_config)),
+    ]:
+        print(f"\ntraining {name} ...")
+        outcome = Trainer(model, split, training_config).fit()
+        results[name] = outcome.test_metrics
+        print(f"  best epoch {outcome.best_epoch}, "
+              f"test NDCG@20 = {outcome.test_metrics['ndcg@20']:.4f}")
+
+    # 5. Side-by-side comparison.
+    print()
+    print(format_metric_table(results, metric_order=["recall@20", "ndcg@20",
+                                                     "recall@50", "ndcg@50"],
+                              title="Whitening the pre-trained text embeddings:"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Reproduction of "Are ID Embeddings Necessary? Whitening Pre-trained Text
+Embeddings for Effective Sequential Recommendation" (ICDE 2024).
+
+Public surface:
+
+* :mod:`repro.nn`         — numpy autograd + Transformer substrate (PyTorch stand-in)
+* :mod:`repro.text`       — synthetic item texts + anisotropic "pre-trained" encoder
+* :mod:`repro.data`       — synthetic datasets, splits, batching (RecBole stand-in)
+* :mod:`repro.whitening`  — ZCA/PCA/CD/BN/group/flow whitening + geometry metrics
+* :mod:`repro.models`     — WhitenRec, WhitenRec+ and every compared baseline
+* :mod:`repro.training`   — trainer, early stopping, Recall@K / NDCG@K evaluation
+* :mod:`repro.analysis`   — anisotropy, alignment/uniformity, conditioning, t-SNE
+* :mod:`repro.experiments`— one runner per paper table/figure
+"""
+
+from . import analysis, data, experiments, models, nn, text, training, whitening
+from .data import load_dataset
+from .models import ModelConfig, WhitenRec, WhitenRecPlus, build_model
+from .training import Trainer, TrainingConfig, evaluate_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "Trainer",
+    "TrainingConfig",
+    "WhitenRec",
+    "WhitenRecPlus",
+    "analysis",
+    "build_model",
+    "data",
+    "evaluate_model",
+    "experiments",
+    "load_dataset",
+    "models",
+    "nn",
+    "text",
+    "training",
+    "whitening",
+]

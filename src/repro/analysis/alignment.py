@@ -1,0 +1,96 @@
+"""Alignment and uniformity of user / item representations (Fig. 6).
+
+The paper analyses learned representations with the alignment / uniformity
+framework of Wang & Isola as adapted to recommendation (Eqn. 7):
+
+* ``l_align``        — expected squared distance between the (l2-normalised)
+  user representation and its positive item's representation;
+* ``l_uniform_user`` — log of the average Gaussian potential between user
+  pairs (lower = more uniform);
+* ``l_uniform_item`` — same for item pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataloader import evaluation_batches
+from ..data.splits import EvaluationCase
+
+
+def _l2_normalize(matrix: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, eps)
+
+
+def alignment_loss(user_repr: np.ndarray, item_repr: np.ndarray) -> float:
+    """Mean squared distance between normalised positive pairs."""
+    users = _l2_normalize(np.asarray(user_repr, dtype=np.float64))
+    items = _l2_normalize(np.asarray(item_repr, dtype=np.float64))
+    if users.shape != items.shape:
+        raise ValueError("user and item representation matrices must align")
+    return float(((users - items) ** 2).sum(axis=1).mean())
+
+
+def uniformity_loss(representations: np.ndarray, t: float = 2.0,
+                    max_pairs: int = 50_000, seed: int = 0) -> float:
+    """``log E exp(-t * ||x - y||^2)`` over pairs of rows."""
+    matrix = _l2_normalize(np.asarray(representations, dtype=np.float64))
+    num_rows = matrix.shape[0]
+    if num_rows < 2:
+        return 0.0
+    total_pairs = num_rows * (num_rows - 1) // 2
+    if total_pairs <= max_pairs:
+        squared_dist = (
+            np.sum(matrix ** 2, axis=1)[:, None]
+            + np.sum(matrix ** 2, axis=1)[None, :]
+            - 2.0 * matrix @ matrix.T
+        )
+        upper = squared_dist[np.triu_indices(num_rows, k=1)]
+    else:
+        rng = np.random.default_rng(seed)
+        left = rng.integers(0, num_rows, size=max_pairs)
+        right = rng.integers(0, num_rows, size=max_pairs)
+        keep = left != right
+        left, right = left[keep], right[keep]
+        upper = ((matrix[left] - matrix[right]) ** 2).sum(axis=1)
+    upper = np.clip(upper, 0.0, None)
+    return float(np.log(np.mean(np.exp(-t * upper)) + 1e-12))
+
+
+def alignment_and_uniformity(model, cases: Sequence[EvaluationCase],
+                             max_sequence_length: int = 20,
+                             batch_size: int = 512,
+                             max_items: Optional[int] = 2000,
+                             seed: int = 0) -> Dict[str, float]:
+    """Compute the Fig. 6 statistics for a trained model.
+
+    ``l_align`` uses positive (user, target item) pairs from ``cases``;
+    ``l_uniform_user`` uses the user representations of those cases;
+    ``l_uniform_item`` uses (a sample of) the projected item matrix.
+    """
+    user_blocks = []
+    target_ids = []
+    for batch in evaluation_batches(list(cases), batch_size, max_sequence_length):
+        user_blocks.append(model.user_matrix_numpy(batch))
+        target_ids.append(batch.targets)
+    users = np.concatenate(user_blocks, axis=0)
+    targets = np.concatenate(target_ids)
+
+    item_matrix = model.item_matrix_numpy()  # rows are items 1..num_items
+    positive_items = item_matrix[targets - 1]
+
+    if max_items is not None and item_matrix.shape[0] > max_items:
+        rng = np.random.default_rng(seed)
+        sample = rng.choice(item_matrix.shape[0], size=max_items, replace=False)
+        item_sample = item_matrix[sample]
+    else:
+        item_sample = item_matrix
+
+    return {
+        "alignment": alignment_loss(users, positive_items),
+        "user_uniformity": uniformity_loss(users, seed=seed),
+        "item_uniformity": uniformity_loss(item_sample, seed=seed),
+    }

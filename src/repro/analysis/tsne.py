@@ -1,0 +1,118 @@
+"""A small t-SNE implementation for the Fig. 3 embedding visualisations.
+
+Fig. 3 shows t-SNE projections of the item text embeddings before and after
+whitening with different group counts.  scikit-learn is not available in this
+environment, so this module implements a compact Barnes-Hut-free t-SNE
+(exact pairwise affinities, gradient descent with momentum and early
+exaggeration) sufficient for the few hundred to few thousand points the
+scaled-down datasets contain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _pairwise_squared_distances(points: np.ndarray) -> np.ndarray:
+    squared_norms = (points ** 2).sum(axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * points @ points.T
+    np.fill_diagonal(distances, 0.0)
+    return np.clip(distances, 0.0, None)
+
+
+def _binary_search_beta(distances_row: np.ndarray, target_entropy: float,
+                        max_iterations: int = 50, tolerance: float = 1e-5) -> np.ndarray:
+    """Find the Gaussian precision achieving the desired perplexity for one row."""
+    beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+    probabilities = np.zeros_like(distances_row)
+    for _ in range(max_iterations):
+        probabilities = np.exp(-distances_row * beta)
+        total = probabilities.sum()
+        if total <= 0:
+            total = 1e-12
+        probabilities /= total
+        entropy = -np.sum(probabilities * np.log(probabilities + 1e-12))
+        difference = entropy - target_entropy
+        if abs(difference) < tolerance:
+            break
+        if difference > 0:
+            beta_min = beta
+            beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2.0
+        else:
+            beta_max = beta
+            beta = beta / 2.0 if beta_min == -np.inf else (beta + beta_min) / 2.0
+    return probabilities
+
+
+def _joint_probabilities(points: np.ndarray, perplexity: float) -> np.ndarray:
+    num_points = points.shape[0]
+    distances = _pairwise_squared_distances(points)
+    target_entropy = np.log(perplexity)
+    conditional = np.zeros((num_points, num_points))
+    for row in range(num_points):
+        mask = np.ones(num_points, dtype=bool)
+        mask[row] = False
+        conditional[row, mask] = _binary_search_beta(distances[row, mask], target_entropy)
+    joint = (conditional + conditional.T) / (2.0 * num_points)
+    return np.clip(joint, 1e-12, None)
+
+
+def tsne(points: np.ndarray, num_dims: int = 2, perplexity: float = 30.0,
+         num_iterations: int = 300, learning_rate: float = 100.0,
+         seed: int = 0, early_exaggeration: float = 4.0,
+         exaggeration_iterations: int = 50,
+         initial: Optional[np.ndarray] = None) -> np.ndarray:
+    """Project ``points`` to ``num_dims`` dimensions with t-SNE.
+
+    Parameters mirror the common implementation; defaults are tuned for the
+    ≤ 1,500-point catalogues of the scaled-down datasets.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    num_points = points.shape[0]
+    if num_points < 5:
+        raise ValueError("t-SNE needs at least 5 points")
+    perplexity = min(perplexity, (num_points - 1) / 3.0)
+
+    rng = np.random.default_rng(seed)
+    joint = _joint_probabilities(points, perplexity)
+    joint_exaggerated = joint * early_exaggeration
+
+    if initial is not None:
+        embedding = np.array(initial, dtype=np.float64, copy=True)
+    else:
+        embedding = rng.standard_normal((num_points, num_dims)) * 1e-4
+    velocity = np.zeros_like(embedding)
+    gains = np.ones_like(embedding)
+
+    for iteration in range(num_iterations):
+        current_joint = joint_exaggerated if iteration < exaggeration_iterations else joint
+        distances = _pairwise_squared_distances(embedding)
+        inv_distances = 1.0 / (1.0 + distances)
+        np.fill_diagonal(inv_distances, 0.0)
+        q_unnormalized = inv_distances
+        q = np.clip(q_unnormalized / q_unnormalized.sum(), 1e-12, None)
+
+        pq_diff = (current_joint - q) * inv_distances
+        gradient = 4.0 * (
+            np.diag(pq_diff.sum(axis=1)) - pq_diff
+        ) @ embedding
+
+        momentum = 0.5 if iteration < 100 else 0.8
+        same_sign = np.sign(gradient) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        gains = np.clip(gains, 0.01, None)
+        velocity = momentum * velocity - learning_rate * gains * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0)
+
+    return embedding
+
+
+def pca_projection(points: np.ndarray, num_dims: int = 2) -> np.ndarray:
+    """Fast PCA projection used to initialise t-SNE or as a cheap stand-in."""
+    points = np.asarray(points, dtype=np.float64)
+    centered = points - points.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:num_dims].T

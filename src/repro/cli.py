@@ -1,0 +1,131 @@
+"""Command-line interface for the reproduction.
+
+Examples
+--------
+List every reproducible experiment (paper table/figure)::
+
+    python -m repro list
+
+Regenerate one experiment and save its result as JSON::
+
+    python -m repro run tab1 --scale bench --output results/
+
+Show the statistics of a synthetic dataset (Table II row)::
+
+    python -m repro stats arts --scale tiny
+
+Inspect the anisotropy of the pre-trained text embeddings (Fig. 2 summary)::
+
+    python -m repro anisotropy arts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.anisotropy import analyze_embeddings
+from .analysis.plots import sparkline
+from .analysis.reporting import format_table
+from .data.statistics import dataset_statistics
+from .data.synthetic import available_presets, load_dataset
+from .experiments.persistence import save_result
+from .experiments.registry import get_experiment, list_experiments
+from .text.features import encode_items, strip_padding_row
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Are ID Embeddings Necessary?' (ICDE 2024)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all reproducible tables/figures")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment by id")
+    run_parser.add_argument("experiment_id", help="e.g. tab1, fig5, tab6")
+    run_parser.add_argument("--scale", default="bench", choices=["bench", "full"],
+                            help="experiment scale (default: bench)")
+    run_parser.add_argument("--output", default=None,
+                            help="directory to write <experiment_id>.json into")
+
+    stats_parser = subparsers.add_parser("stats", help="show synthetic dataset statistics")
+    stats_parser.add_argument("dataset", choices=available_presets())
+    stats_parser.add_argument("--scale", default="tiny",
+                              choices=["tiny", "small", "paper"])
+    stats_parser.add_argument("--seed", type=int, default=42)
+
+    aniso_parser = subparsers.add_parser(
+        "anisotropy", help="summarise the anisotropy of the pre-trained embeddings"
+    )
+    aniso_parser.add_argument("dataset", choices=available_presets())
+    aniso_parser.add_argument("--dim", type=int, default=32)
+    aniso_parser.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _command_list() -> int:
+    rows = [
+        [spec.experiment_id, spec.artefact, spec.kind, spec.description]
+        for spec in list_experiments()
+    ]
+    print(format_table(["id", "artefact", "kind", "description"], rows,
+                       title="Reproducible experiments"))
+    return 0
+
+
+def _command_run(experiment_id: str, scale: str, output: Optional[str]) -> int:
+    spec = get_experiment(experiment_id)
+    print(f"running {spec.artefact} ({spec.experiment_id}) at scale={scale!r} ...")
+    result = spec.runner(scale=scale)
+    if isinstance(result, dict):
+        if "table" in result:
+            print(result["table"])
+        for table in result.get("tables", {}).values():
+            print(table)
+            print()
+    if output:
+        path = save_result(result, f"{output.rstrip('/')}/{experiment_id}.json",
+                           experiment_id=experiment_id)
+        print(f"saved result to {path}")
+    return 0
+
+
+def _command_stats(dataset_name: str, scale: str, seed: int) -> int:
+    dataset = load_dataset(dataset_name, scale=scale, seed=seed)
+    stats = dataset_statistics(dataset).as_dict()
+    print(format_table(list(stats.keys()), [list(stats.values())], precision=2,
+                       title=f"Dataset statistics — {dataset_name} ({scale})"))
+    return 0
+
+
+def _command_anisotropy(dataset_name: str, dim: int, seed: int) -> int:
+    dataset = load_dataset(dataset_name, scale="tiny", seed=seed)
+    embeddings = strip_padding_row(encode_items(dataset.items, embedding_dim=dim, seed=seed))
+    report = analyze_embeddings(embeddings)
+    print(f"dataset: {dataset_name}   items: {embeddings.shape[0]}   dim: {dim}")
+    print(f"mean pairwise cosine similarity : {report.mean_cosine:.3f}")
+    print(f"top-1 spectral energy fraction  : {report.top1_spectral_energy:.3f}")
+    print(f"singular value spectrum         : {sparkline(report.singular_values)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args.experiment_id, args.scale, args.output)
+    if args.command == "stats":
+        return _command_stats(args.dataset, args.scale, args.seed)
+    if args.command == "anisotropy":
+        return _command_anisotropy(args.dataset, args.dim, args.seed)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

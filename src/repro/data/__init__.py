@@ -1,0 +1,51 @@
+"""Data substrate: interactions, synthetic dataset generators, splits, batching."""
+
+from .dataloader import (
+    SequenceBatch,
+    SequenceDataLoader,
+    evaluation_batches,
+    make_batch,
+    pad_sequences,
+)
+from .interactions import Interaction, InteractionTable, PADDING_ITEM
+from .splits import (
+    DatasetSplit,
+    EvaluationCase,
+    cold_start_split,
+    leave_one_out_split,
+    training_examples,
+)
+from .statistics import DatasetStatistics, compute_statistics, dataset_statistics
+from .synthetic import (
+    DatasetConfig,
+    SyntheticDataset,
+    available_presets,
+    dataset_config,
+    generate_dataset,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetConfig",
+    "DatasetSplit",
+    "DatasetStatistics",
+    "EvaluationCase",
+    "Interaction",
+    "InteractionTable",
+    "PADDING_ITEM",
+    "SequenceBatch",
+    "SequenceDataLoader",
+    "SyntheticDataset",
+    "available_presets",
+    "cold_start_split",
+    "compute_statistics",
+    "dataset_config",
+    "dataset_statistics",
+    "evaluation_batches",
+    "generate_dataset",
+    "leave_one_out_split",
+    "load_dataset",
+    "make_batch",
+    "pad_sequences",
+    "training_examples",
+]

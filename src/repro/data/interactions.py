@@ -1,0 +1,152 @@
+"""Interaction tables and pre-processing (the RecBole-dataset substitute).
+
+An :class:`InteractionTable` stores chronological user→item interactions with
+1-based item ids (item id 0 is reserved for padding, matching the convention
+used throughout the models).  It supports the paper's pre-processing, i.e.
+5-core filtering ("we keep the five-core datasets and discard users and items
+with fewer than five interactions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+PADDING_ITEM = 0
+
+
+@dataclass
+class Interaction:
+    """A single user-item interaction with a timestamp ordering key."""
+
+    user_id: int
+    item_id: int
+    timestamp: float
+
+
+@dataclass
+class InteractionTable:
+    """Chronological interaction data for a set of users.
+
+    Attributes
+    ----------
+    user_sequences:
+        Mapping from user id to the chronologically ordered list of item ids
+        (1-based) the user interacted with.
+    num_items:
+        Number of distinct items in the catalogue (excluding padding).  Item
+        ids are in ``[1, num_items]``.
+    """
+
+    user_sequences: Dict[int, List[int]] = field(default_factory=dict)
+    num_items: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_interactions(cls, interactions: Iterable[Interaction],
+                          num_items: int) -> "InteractionTable":
+        """Build a table from unordered interaction records."""
+        per_user: Dict[int, List[Tuple[float, int]]] = {}
+        for interaction in interactions:
+            per_user.setdefault(interaction.user_id, []).append(
+                (interaction.timestamp, interaction.item_id)
+            )
+        sequences: Dict[int, List[int]] = {}
+        for user_id, events in per_user.items():
+            events.sort(key=lambda pair: pair[0])
+            sequences[user_id] = [item for _, item in events]
+        return cls(user_sequences=sequences, num_items=num_items)
+
+    # ------------------------------------------------------------------ #
+    # Basic statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        return len(self.user_sequences)
+
+    @property
+    def num_interactions(self) -> int:
+        return sum(len(seq) for seq in self.user_sequences.values())
+
+    def item_counts(self) -> np.ndarray:
+        """Interaction count per item, indexed by item id (0..num_items)."""
+        counts = np.zeros(self.num_items + 1, dtype=np.int64)
+        for sequence in self.user_sequences.values():
+            for item in sequence:
+                counts[item] += 1
+        return counts
+
+    def average_sequence_length(self) -> float:
+        if not self.user_sequences:
+            return 0.0
+        return self.num_interactions / self.num_users
+
+    def average_item_actions(self) -> float:
+        counts = self.item_counts()[1:]
+        active = counts[counts > 0]
+        if active.size == 0:
+            return 0.0
+        return float(active.mean())
+
+    def active_items(self) -> List[int]:
+        """Item ids that appear in at least one interaction."""
+        counts = self.item_counts()
+        return [item for item in range(1, self.num_items + 1) if counts[item] > 0]
+
+    # ------------------------------------------------------------------ #
+    # Pre-processing
+    # ------------------------------------------------------------------ #
+    def k_core_filter(self, k: int = 5, max_rounds: int = 20) -> "InteractionTable":
+        """Iteratively drop users and items with fewer than ``k`` interactions.
+
+        Mirrors the paper's "five-core" pre-processing.  Item ids are *not*
+        re-indexed; downstream code treats missing items as simply unused.
+        """
+        sequences = {user: list(seq) for user, seq in self.user_sequences.items()}
+        for _ in range(max_rounds):
+            counts = np.zeros(self.num_items + 1, dtype=np.int64)
+            for seq in sequences.values():
+                for item in seq:
+                    counts[item] += 1
+            valid_items = set(np.nonzero(counts >= k)[0].tolist()) - {PADDING_ITEM}
+
+            changed = False
+            next_sequences: Dict[int, List[int]] = {}
+            for user, seq in sequences.items():
+                filtered = [item for item in seq if item in valid_items]
+                if len(filtered) != len(seq):
+                    changed = True
+                if len(filtered) >= k:
+                    next_sequences[user] = filtered
+                else:
+                    changed = True
+            sequences = next_sequences
+            if not changed:
+                break
+        return InteractionTable(user_sequences=sequences, num_items=self.num_items)
+
+    def remove_items(self, items_to_remove: Iterable[int],
+                     min_length: int = 3) -> "InteractionTable":
+        """Drop all interactions with the given items (cold-start construction).
+
+        Users whose remaining sequence is shorter than ``min_length`` are
+        removed entirely, since they can no longer provide a train/valid/test
+        triple under leave-one-out.
+        """
+        removed = set(items_to_remove)
+        sequences: Dict[int, List[int]] = {}
+        for user, seq in self.user_sequences.items():
+            filtered = [item for item in seq if item not in removed]
+            if len(filtered) >= min_length:
+                sequences[user] = filtered
+        return InteractionTable(user_sequences=sequences, num_items=self.num_items)
+
+    def subset_users(self, user_ids: Iterable[int]) -> "InteractionTable":
+        """Keep only the specified users."""
+        keep = set(user_ids)
+        sequences = {user: list(seq) for user, seq in self.user_sequences.items() if user in keep}
+        return InteractionTable(user_sequences=sequences, num_items=self.num_items)

@@ -1,0 +1,49 @@
+"""Dataset statistics (Table II of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .interactions import InteractionTable
+from .synthetic import SyntheticDataset
+
+
+@dataclass
+class DatasetStatistics:
+    """The Table II row for one dataset."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_interactions: int
+    avg_sequence_length: float
+    avg_item_actions: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dataset": self.name,
+            "#Users": self.num_users,
+            "#Items": self.num_items,
+            "#Inter.": self.num_interactions,
+            "Avg. n": round(self.avg_sequence_length, 2),
+            "Avg. i": round(self.avg_item_actions, 2),
+        }
+
+
+def compute_statistics(table: InteractionTable, name: str = "") -> DatasetStatistics:
+    """Compute the Table II statistics for an interaction table."""
+    active = table.active_items()
+    return DatasetStatistics(
+        name=name,
+        num_users=table.num_users,
+        num_items=len(active),
+        num_interactions=table.num_interactions,
+        avg_sequence_length=table.average_sequence_length(),
+        avg_item_actions=table.average_item_actions(),
+    )
+
+
+def dataset_statistics(dataset: SyntheticDataset) -> DatasetStatistics:
+    """Compute statistics for a generated synthetic dataset."""
+    return compute_statistics(dataset.interactions, name=dataset.name)

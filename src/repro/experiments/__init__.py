@@ -1,0 +1,27 @@
+"""Experiment runners and registry reproducing every table/figure of the paper."""
+
+from . import runners
+from .presets import (
+    ExperimentScale,
+    ExperimentSetup,
+    clear_setup_cache,
+    get_scale,
+    prepare_experiment,
+)
+from .registry import ExperimentSpec, get_experiment, list_experiments, run_experiment
+from .runners import ModelRunRecord, train_model
+
+__all__ = [
+    "ExperimentScale",
+    "ExperimentSetup",
+    "ExperimentSpec",
+    "ModelRunRecord",
+    "clear_setup_cache",
+    "get_experiment",
+    "get_scale",
+    "list_experiments",
+    "prepare_experiment",
+    "run_experiment",
+    "runners",
+    "train_model",
+]

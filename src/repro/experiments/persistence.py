@@ -1,0 +1,86 @@
+"""Persisting experiment results to disk.
+
+Experiment runners return plain dictionaries mixing floats, numpy arrays,
+dataclasses and nested mappings.  This module serialises those results to
+JSON so that benchmark runs can be archived, diffed and re-rendered without
+re-training anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _sanitize(value: Any) -> Any:
+    """Recursively convert a runner result into JSON-serialisable data."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (np.floating, float)):
+        number = float(value)
+        return number if np.isfinite(number) else None
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return [_sanitize(item) for item in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _sanitize(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_sanitize(item) for item in value]
+    # Objects such as trained models or TrainingResult histories are dropped:
+    # their scalar summaries are already part of the result dictionaries.
+    return repr(value)
+
+
+def result_to_json(result: Dict[str, Any]) -> str:
+    """Render a runner result as a pretty-printed JSON string."""
+    return json.dumps(_sanitize(result), indent=2, sort_keys=True)
+
+
+def save_result(result: Dict[str, Any], path: PathLike,
+                experiment_id: Optional[str] = None) -> Path:
+    """Write a runner result to ``path`` (directories are created).
+
+    If ``experiment_id`` is given it is recorded alongside the payload so the
+    file is self-describing.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, Any] = {"result": _sanitize(result)}
+    if experiment_id is not None:
+        payload["experiment_id"] = experiment_id
+    # Write atomically: results files may be read by other tooling while a
+    # long benchmark run is still appending new ones.
+    temporary = path.with_suffix(path.suffix + ".tmp")
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    temporary.replace(path)
+    return path
+
+
+def load_result(path: PathLike) -> Dict[str, Any]:
+    """Load a result file written by :func:`save_result`."""
+    with open(Path(path), "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "result" not in payload:
+        raise ValueError(f"{path!s} is not a repro result file")
+    return payload
+
+
+def save_all(results: Dict[str, Dict[str, Any]], directory: PathLike) -> Dict[str, Path]:
+    """Save one file per experiment id into ``directory``; returns the paths."""
+    directory = Path(directory)
+    written: Dict[str, Path] = {}
+    for experiment_id, result in results.items():
+        written[experiment_id] = save_result(
+            result, directory / f"{experiment_id}.json", experiment_id=experiment_id
+        )
+    return written

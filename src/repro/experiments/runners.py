@@ -1,0 +1,603 @@
+"""One runner per paper table / figure.
+
+Each ``run_*`` function regenerates the rows or series of the corresponding
+artefact in the paper's evaluation section and returns structured data (plus
+a human-readable ASCII rendering where appropriate).  The benchmark harness
+in ``benchmarks/`` simply calls these runners and prints the result.
+
+The runners accept a ``scale`` argument ("bench" | "full") so the same code
+serves both fast regression benchmarks and longer, closer-to-paper runs.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.alignment import alignment_and_uniformity
+from ..analysis.anisotropy import (
+    analyze_embeddings,
+    cosine_cdf_by_group,
+    singular_value_spectrum,
+)
+from ..analysis.conditioning import ConditioningTrace, trace_from_result
+from ..analysis.reporting import format_metric_table, format_table, relative_improvement
+from ..analysis.tsne import pca_projection, tsne
+from ..data.statistics import dataset_statistics
+from ..models.base import ModelConfig
+from ..models.registry import build_model, display_label
+from ..text.features import strip_padding_row
+from ..training.config import TrainingConfig
+from ..training.trainer import Trainer, TrainingResult
+from .presets import ExperimentSetup, prepare_experiment
+
+#: datasets in the paper's order
+PAPER_DATASETS: Tuple[str, ...] = ("arts", "toys", "tools", "food")
+
+#: three Amazon datasets used by Table I and Fig. 5
+AMAZON_DATASETS: Tuple[str, ...] = ("arts", "toys", "tools")
+
+
+# ---------------------------------------------------------------------- #
+# Shared helpers
+# ---------------------------------------------------------------------- #
+@dataclass
+class ModelRunRecord:
+    """A single trained model's metrics and bookkeeping."""
+
+    model_name: str
+    dataset: str
+    test_metrics: Dict[str, float]
+    validation_metrics: Dict[str, float] = field(default_factory=dict)
+    num_parameters: int = 0
+    seconds_per_epoch: float = 0.0
+    result: Optional[TrainingResult] = None
+    model: Optional[object] = None
+
+
+def train_model(setup: ExperimentSetup, model_name: str,
+                model_kwargs: Optional[Dict] = None,
+                training_overrides: Optional[Dict] = None,
+                keep_result: bool = False,
+                keep_model: bool = False) -> ModelRunRecord:
+    """Train one model on a prepared experiment setup and evaluate on test."""
+    model_kwargs = dict(model_kwargs or {})
+    model = build_model(
+        model_name,
+        num_items=setup.num_items,
+        feature_table=setup.feature_table,
+        train_sequences=setup.split.train_sequences,
+        config=copy.deepcopy(setup.model_config),
+        **model_kwargs,
+    )
+    training_config = copy.deepcopy(setup.training_config)
+    for key, value in (training_overrides or {}).items():
+        setattr(training_config, key, value)
+    trainer = Trainer(model, setup.split, training_config)
+    result = trainer.fit()
+    return ModelRunRecord(
+        model_name=model_name,
+        dataset=setup.dataset.name,
+        test_metrics=result.test_metrics,
+        validation_metrics=result.best_validation,
+        num_parameters=result.num_parameters,
+        seconds_per_epoch=result.seconds_per_epoch,
+        result=result if keep_result else None,
+        model=model if keep_model else None,
+    )
+
+
+def _metrics_row(record: ModelRunRecord, metrics: Sequence[str]) -> List[float]:
+    return [record.test_metrics.get(metric, float("nan")) for metric in metrics]
+
+
+
+def _epoch_overrides(epochs):
+    """Optional per-runner epoch override (used by the fast benchmark suite)."""
+    return {} if epochs is None else {"num_epochs": int(epochs)}
+
+# ---------------------------------------------------------------------- #
+# Fig. 2 — singular value spectrum of the pre-trained text embeddings
+# ---------------------------------------------------------------------- #
+def run_fig2_singular_values(dataset: str = "arts", scale: str = "bench") -> Dict:
+    """Normalised singular values of the raw item text embeddings (Fig. 2)."""
+    setup = prepare_experiment(dataset, scale=scale)
+    embeddings = strip_padding_row(setup.feature_table)
+    spectrum = singular_value_spectrum(embeddings, normalize=True)
+    report = analyze_embeddings(embeddings)
+    return {
+        "dataset": dataset,
+        "singular_values": spectrum,
+        "mean_pairwise_cosine": report.mean_cosine,
+        "top1_spectral_energy": report.top1_spectral_energy,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Table I — SASRec_ID vs SASRec_T vs WhitenRec
+# ---------------------------------------------------------------------- #
+def run_table1_whitening_gain(datasets: Sequence[str] = AMAZON_DATASETS,
+                              scale: str = "bench") -> Dict:
+    """Table I: whitening the text features beats both ID- and text-only SASRec."""
+    metrics = ("recall@20", "ndcg@20")
+    rows: List[List] = []
+    records: Dict[str, Dict[str, ModelRunRecord]] = {}
+    for dataset in datasets:
+        setup = prepare_experiment(dataset, scale=scale)
+        per_model: Dict[str, ModelRunRecord] = {}
+        for model_name in ("sasrec_id", "sasrec_t", "whitenrec"):
+            per_model[model_name] = train_model(setup, model_name)
+        records[dataset] = per_model
+        best_baseline_recall = max(
+            per_model["sasrec_id"].test_metrics["recall@20"],
+            per_model["sasrec_t"].test_metrics["recall@20"],
+        )
+        improvement = relative_improvement(
+            per_model["whitenrec"].test_metrics["recall@20"], best_baseline_recall
+        )
+        for metric in metrics:
+            rows.append(
+                [
+                    dataset,
+                    metric,
+                    per_model["sasrec_id"].test_metrics[metric],
+                    per_model["sasrec_t"].test_metrics[metric],
+                    per_model["whitenrec"].test_metrics[metric],
+                    improvement if metric == "recall@20" else
+                    relative_improvement(
+                        per_model["whitenrec"].test_metrics[metric],
+                        max(per_model["sasrec_id"].test_metrics[metric],
+                            per_model["sasrec_t"].test_metrics[metric]),
+                    ),
+                ]
+            )
+    table = format_table(
+        ["dataset", "metric", "SASRec_ID", "SASRec_T", "WhitenRec", "%Improv"],
+        rows,
+        title="Table I — effect of whitening (test metrics)",
+    )
+    return {"rows": rows, "records": records, "table": table}
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 3 — t-SNE of raw vs whitened embeddings
+# ---------------------------------------------------------------------- #
+def run_fig3_tsne(dataset: str = "arts", scale: str = "bench",
+                  groups: Sequence = ("raw", 1, 4, 32),
+                  max_points: int = 300, use_tsne: bool = True) -> Dict:
+    """Fig. 3: 2-D projections of item embeddings for raw / G=1 / G=4 / G=32."""
+    from ..whitening.group import whiten_with_groups
+
+    setup = prepare_experiment(dataset, scale=scale)
+    embeddings = strip_padding_row(setup.feature_table)
+    rng = np.random.default_rng(0)
+    if embeddings.shape[0] > max_points:
+        sample = rng.choice(embeddings.shape[0], size=max_points, replace=False)
+        embeddings = embeddings[sample]
+
+    projections: Dict[str, np.ndarray] = {}
+    spreads: Dict[str, float] = {}
+    for group in groups:
+        label = "Raw" if group in ("raw", None) else f"G={int(group)}"
+        transformed = (
+            embeddings if label == "Raw" else whiten_with_groups(embeddings, int(group))
+        )
+        if use_tsne:
+            coords = tsne(transformed, num_iterations=150, perplexity=20.0, seed=0,
+                          initial=pca_projection(transformed, 2) * 1e-3)
+        else:
+            coords = pca_projection(transformed, 2)
+        projections[label] = coords
+        # "Spread uniformity": ratio of the two principal std devs of the 2-D
+        # cloud; ≈1 for the spherical whitened cloud, ≪1 for the raw cone.
+        stds = np.std(coords, axis=0)
+        spreads[label] = float(stds.min() / max(stds.max(), 1e-12))
+    return {"dataset": dataset, "projections": projections, "spread_ratio": spreads}
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 4 — CDF of pairwise cosine similarity per whitening strength
+# ---------------------------------------------------------------------- #
+def run_fig4_cosine_cdf(dataset: str = "arts", scale: str = "bench",
+                        groups: Sequence = ("raw", 1, 4, 8, 16, 32, 64)) -> Dict:
+    """Fig. 4: cosine-similarity CDF for raw features and G ∈ {1,...}."""
+    setup = prepare_experiment(dataset, scale=scale)
+    embeddings = strip_padding_row(setup.feature_table)
+    usable_groups = [g for g in groups if g in ("raw", None) or int(g) <= embeddings.shape[1]]
+    cdfs = cosine_cdf_by_group(embeddings, usable_groups)
+    return {"dataset": dataset, "cdfs": cdfs}
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 5 — WhitenRec performance vs number of groups
+# ---------------------------------------------------------------------- #
+def run_fig5_group_sweep(dataset: str = "arts", scale: str = "bench",
+                         groups: Sequence[int] = (1, 4, 8, 16, 32),
+                         epochs: Optional[int] = None) -> Dict:
+    """Fig. 5: WhitenRec R@20 / N@20 as the whitening group count G varies."""
+    setup = prepare_experiment(dataset, scale=scale)
+    feature_dim = setup.feature_table.shape[1]
+    usable_groups = [g for g in groups if g <= feature_dim]
+    series: Dict[int, Dict[str, float]] = {}
+    for group in usable_groups:
+        record = train_model(setup, "whitenrec", model_kwargs={"num_groups": group},
+                             training_overrides=_epoch_overrides(epochs))
+        series[group] = record.test_metrics
+    rows = [
+        [group, metrics["recall@20"], metrics["ndcg@20"]]
+        for group, metrics in series.items()
+    ]
+    table = format_table(
+        ["G", "R@20", "N@20"], rows,
+        title=f"Fig. 5 — WhitenRec group sweep ({dataset})",
+    )
+    return {"dataset": dataset, "series": series, "table": table}
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 6 — alignment / uniformity
+# ---------------------------------------------------------------------- #
+FIG6_MODELS: Tuple[str, ...] = (
+    "sasrec_id", "sasrec_t", "unisrec_t", "unisrec_t_id", "whitenrec", "whitenrec_plus",
+)
+
+
+def run_fig6_alignment_uniformity(datasets: Sequence[str] = ("arts",),
+                                  models: Sequence[str] = FIG6_MODELS,
+                                  scale: str = "bench") -> Dict:
+    """Fig. 6: alignment vs user/item uniformity of converged models."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for dataset in datasets:
+        setup = prepare_experiment(dataset, scale=scale)
+        per_model: Dict[str, Dict[str, float]] = {}
+        for model_name in models:
+            # keep_model=True: the trainer leaves the best weights loaded in
+            # the model, so the analysis reflects the converged run (the star
+            # markers of Fig. 6).
+            record = train_model(setup, model_name, keep_model=True)
+            stats = alignment_and_uniformity(
+                record.model, setup.split.validation,
+                max_sequence_length=setup.training_config.max_sequence_length,
+            )
+            per_model[display_label(model_name)] = {
+                "alignment": stats["alignment"],
+                "user_uniformity": stats["user_uniformity"],
+                "item_uniformity": stats["item_uniformity"],
+                "ndcg@20": record.test_metrics.get("ndcg@20", float("nan")),
+            }
+        results[dataset] = per_model
+    tables = {
+        dataset: format_metric_table(
+            per_model,
+            metric_order=["alignment", "user_uniformity", "item_uniformity", "ndcg@20"],
+            title=f"Fig. 6 — alignment/uniformity ({dataset})",
+        )
+        for dataset, per_model in results.items()
+    }
+    return {"results": results, "tables": tables}
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 7 — conditioning and training loss trajectories
+# ---------------------------------------------------------------------- #
+def run_fig7_conditioning(datasets: Sequence[str] = ("arts",),
+                          models: Sequence[str] = FIG6_MODELS,
+                          scale: str = "bench") -> Dict:
+    """Fig. 7: condition number of the item matrix and loss per epoch."""
+    traces: Dict[str, Dict[str, ConditioningTrace]] = {}
+    for dataset in datasets:
+        setup = prepare_experiment(dataset, scale=scale)
+        per_model: Dict[str, ConditioningTrace] = {}
+        for model_name in models:
+            record = train_model(
+                setup, model_name, keep_result=True,
+                training_overrides={"track_condition_number": True},
+            )
+            per_model[display_label(model_name)] = trace_from_result(
+                display_label(model_name), record.result
+            )
+        traces[dataset] = per_model
+    rows = []
+    for dataset, per_model in traces.items():
+        for name, trace in per_model.items():
+            rows.append(
+                [
+                    dataset,
+                    name,
+                    trace.final_condition_number or float("nan"),
+                    trace.final_loss or float("nan"),
+                ]
+            )
+    table = format_table(
+        ["dataset", "model", "final condition number", "final training loss"],
+        rows, title="Fig. 7 — conditioning summary",
+    )
+    return {"traces": traces, "table": table}
+
+
+# ---------------------------------------------------------------------- #
+# Table II — dataset statistics
+# ---------------------------------------------------------------------- #
+def run_table2_dataset_statistics(datasets: Sequence[str] = PAPER_DATASETS,
+                                  scale: str = "bench") -> Dict:
+    """Table II: #users / #items / #interactions / Avg.n / Avg.i per dataset."""
+    rows = []
+    stats = {}
+    for dataset in datasets:
+        setup = prepare_experiment(dataset, scale=scale)
+        statistics = dataset_statistics(setup.dataset)
+        stats[dataset] = statistics
+        record = statistics.as_dict()
+        rows.append([record[key] for key in ("dataset", "#Users", "#Items", "#Inter.", "Avg. n", "Avg. i")])
+    table = format_table(
+        ["Dataset", "#Users", "#Items", "#Inter.", "Avg. n", "Avg. i"],
+        rows, precision=2, title="Table II — dataset statistics (synthetic, scaled down)",
+    )
+    return {"statistics": stats, "rows": rows, "table": table}
+
+
+# ---------------------------------------------------------------------- #
+# Table III — warm-start comparison
+# ---------------------------------------------------------------------- #
+TABLE3_MODELS: Tuple[str, ...] = (
+    "grcn", "bm3", "sasrec_id", "cl4srec", "sasrec_t", "sasrec_t_id",
+    "s3rec", "fdsa", "unisrec_t", "unisrec_t_id", "vqrec",
+    "whitenrec", "whitenrec_plus",
+)
+
+
+def run_table3_warm_start(datasets: Sequence[str] = ("arts",),
+                          models: Sequence[str] = TABLE3_MODELS,
+                          scale: str = "bench") -> Dict:
+    """Table III: warm-start comparison of all methods (R/N @20/@50)."""
+    metrics = ("recall@20", "recall@50", "ndcg@20", "ndcg@50")
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for dataset in datasets:
+        setup = prepare_experiment(dataset, scale=scale)
+        per_model: Dict[str, Dict[str, float]] = {}
+        for model_name in models:
+            record = train_model(setup, model_name)
+            per_model[display_label(model_name)] = record.test_metrics
+        results[dataset] = per_model
+    tables = {
+        dataset: format_metric_table(
+            per_model, metric_order=list(metrics),
+            title=f"Table III — warm-start comparison ({dataset})",
+        )
+        for dataset, per_model in results.items()
+    }
+    return {"results": results, "tables": tables}
+
+
+# ---------------------------------------------------------------------- #
+# Table IV — cold-start comparison
+# ---------------------------------------------------------------------- #
+TABLE4_MODELS: Tuple[Tuple[str, str, Dict], ...] = (
+    ("SASRec (T)", "sasrec_t", {}),
+    ("UniSRec (T)", "unisrec_t", {}),
+    ("WhitenRec G=1 (T)", "whitenrec", {"num_groups": 1}),
+    ("WhitenRec G>1 (T)", "whitenrec", {"num_groups": 4}),
+    ("WhitenRec+ (T)", "whitenrec_plus", {}),
+)
+
+
+def run_table4_cold_start(datasets: Sequence[str] = ("arts",),
+                          scale: str = "bench",
+                          epochs: Optional[int] = None) -> Dict:
+    """Table IV: cold-start comparison of the text-only methods."""
+    metrics = ("recall@20", "ndcg@20")
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for dataset in datasets:
+        setup = prepare_experiment(dataset, scale=scale, cold_start=True)
+        per_model: Dict[str, Dict[str, float]] = {}
+        for label, model_name, kwargs in TABLE4_MODELS:
+            record = train_model(setup, model_name, model_kwargs=kwargs,
+                                 training_overrides=_epoch_overrides(epochs))
+            per_model[label] = record.test_metrics
+        results[dataset] = per_model
+    tables = {
+        dataset: format_metric_table(
+            per_model, metric_order=list(metrics),
+            title=f"Table IV — cold-start comparison ({dataset})",
+        )
+        for dataset, per_model in results.items()
+    }
+    return {"results": results, "tables": tables}
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 8 — WhitenRec+ relaxed-branch group sweep
+# ---------------------------------------------------------------------- #
+def run_fig8_whitenrec_plus_groups(dataset: str = "arts", scale: str = "bench",
+                                   groups: Sequence = (4, 8, 16, 32, "raw"),
+                                   epochs: Optional[int] = None) -> Dict:
+    """Fig. 8: WhitenRec+ R@20 as the relaxed branch's G varies (plus WhitenRec)."""
+    setup = prepare_experiment(dataset, scale=scale)
+    feature_dim = setup.feature_table.shape[1]
+    whitenrec_record = train_model(setup, "whitenrec",
+                                   training_overrides=_epoch_overrides(epochs))
+    series: Dict[str, Dict[str, float]] = {}
+    for group in groups:
+        if group not in ("raw", None) and int(group) > feature_dim:
+            continue
+        label = "Raw" if group in ("raw", None) else str(int(group))
+        record = train_model(
+            setup, "whitenrec_plus", model_kwargs={"relaxed_groups": group},
+            training_overrides=_epoch_overrides(epochs),
+        )
+        series[label] = record.test_metrics
+    rows = [[label, metrics["recall@20"], metrics["ndcg@20"]] for label, metrics in series.items()]
+    rows.append(["WhitenRec (ref)", whitenrec_record.test_metrics["recall@20"],
+                 whitenrec_record.test_metrics["ndcg@20"]])
+    table = format_table(
+        ["relaxed G", "R@20", "N@20"], rows,
+        title=f"Fig. 8 — WhitenRec+ relaxed-group sweep ({dataset})",
+    )
+    return {
+        "dataset": dataset,
+        "series": series,
+        "whitenrec_reference": whitenrec_record.test_metrics,
+        "table": table,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Table V — projection head ablation
+# ---------------------------------------------------------------------- #
+TABLE5_HEADS: Tuple[str, ...] = ("linear", "mlp-1", "mlp-2", "mlp-3", "moe")
+
+
+def run_table5_projection_head(dataset: str = "arts", scale: str = "bench",
+                               heads: Sequence[str] = TABLE5_HEADS,
+                               epochs: Optional[int] = None) -> Dict:
+    """Table V: WhitenRec+ with Linear / MLP-1 / MLP-2 / MLP-3 / MoE heads."""
+    setup = prepare_experiment(dataset, scale=scale)
+    results: Dict[str, Dict[str, float]] = {}
+    for head in heads:
+        record = train_model(setup, "whitenrec_plus", model_kwargs={"projection": head},
+                             training_overrides=_epoch_overrides(epochs))
+        results[head.upper() if head != "moe" else "MoE"] = record.test_metrics
+    table = format_metric_table(
+        results, metric_order=["recall@20", "ndcg@20"],
+        title=f"Table V — projection head ablation ({dataset})",
+    )
+    return {"dataset": dataset, "results": results, "table": table}
+
+
+# ---------------------------------------------------------------------- #
+# Table VI — whitening method ablation
+# ---------------------------------------------------------------------- #
+TABLE6_METHODS: Tuple[str, ...] = ("pw", "bert_flow", "pca", "batchnorm", "cholesky", "zca")
+
+_METHOD_LABELS = {
+    "pw": "PW", "bert_flow": "BERT-flow", "pca": "PCA",
+    "batchnorm": "BN", "cholesky": "CD", "zca": "ZCA",
+}
+
+
+def run_table6_whitening_methods(dataset: str = "arts", scale: str = "bench",
+                                 methods: Sequence[str] = TABLE6_METHODS,
+                                 epochs: Optional[int] = None) -> Dict:
+    """Table VI: WhitenRec+ with different whitening transformations."""
+    setup = prepare_experiment(dataset, scale=scale)
+    results: Dict[str, Dict[str, float]] = {}
+    for method in methods:
+        record = train_model(
+            setup, "whitenrec_plus", model_kwargs={"whitening_method": method},
+            training_overrides=_epoch_overrides(epochs),
+        )
+        results[_METHOD_LABELS.get(method, method)] = record.test_metrics
+    table = format_metric_table(
+        results, metric_order=["recall@20", "ndcg@20"],
+        title=f"Table VI — whitening method ablation ({dataset})",
+    )
+    return {"dataset": dataset, "results": results, "table": table}
+
+
+# ---------------------------------------------------------------------- #
+# Table VII — ensemble method ablation
+# ---------------------------------------------------------------------- #
+def run_table7_ensemble_methods(dataset: str = "arts", scale: str = "bench",
+                                ensembles: Sequence[str] = ("sum", "concat", "attn"),
+                                epochs: Optional[int] = None) -> Dict:
+    """Table VII: Sum vs Concat vs Attn combination of the two whitened branches."""
+    setup = prepare_experiment(dataset, scale=scale)
+    results: Dict[str, Dict[str, float]] = {}
+    for ensemble in ensembles:
+        record = train_model(setup, "whitenrec_plus", model_kwargs={"ensemble": ensemble},
+                             training_overrides=_epoch_overrides(epochs))
+        results[ensemble.capitalize()] = record.test_metrics
+    table = format_metric_table(
+        results, metric_order=["recall@20", "ndcg@20"],
+        title=f"Table VII — ensemble method ablation ({dataset})",
+    )
+    return {"dataset": dataset, "results": results, "table": table}
+
+
+# ---------------------------------------------------------------------- #
+# Table VIII — adding ID embeddings
+# ---------------------------------------------------------------------- #
+def run_table8_id_embeddings(datasets: Sequence[str] = ("arts",),
+                             scale: str = "bench",
+                             epochs: Optional[int] = None) -> Dict:
+    """Table VIII: WhitenRec / WhitenRec+ with text-only vs text+ID item encoders."""
+    variants = (
+        ("WhitenRec (T)", "whitenrec", {}),
+        ("WhitenRec (T+ID)", "whitenrec_id", {}),
+        ("WhitenRec+ (T)", "whitenrec_plus", {}),
+        ("WhitenRec+ (T+ID)", "whitenrec_plus_id", {}),
+    )
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for dataset in datasets:
+        setup = prepare_experiment(dataset, scale=scale)
+        per_variant: Dict[str, Dict[str, float]] = {}
+        for label, model_name, kwargs in variants:
+            record = train_model(setup, model_name, model_kwargs=kwargs,
+                                 training_overrides=_epoch_overrides(epochs))
+            per_variant[label] = record.test_metrics
+        results[dataset] = per_variant
+    tables = {
+        dataset: format_metric_table(
+            per_variant, metric_order=["recall@20", "ndcg@20"],
+            title=f"Table VIII — effect of ID embeddings ({dataset})",
+        )
+        for dataset, per_variant in results.items()
+    }
+    return {"results": results, "tables": tables}
+
+
+# ---------------------------------------------------------------------- #
+# Table IX — efficiency comparison
+# ---------------------------------------------------------------------- #
+def run_table9_efficiency(dataset: str = "tools", scale: str = "bench") -> Dict:
+    """Table IX: parameter counts and seconds/epoch for UniSRec vs WhitenRec(+)."""
+    variants = (
+        ("UniSRec (T)", "unisrec_t", {}),
+        ("UniSRec (T+ID)", "unisrec_t_id", {}),
+        ("WhitenRec (T)", "whitenrec", {}),
+        ("WhitenRec (T+ID)", "whitenrec_id", {}),
+        ("WhitenRec+ (T)", "whitenrec_plus", {}),
+        ("WhitenRec+ (T+ID)", "whitenrec_plus_id", {}),
+    )
+    setup = prepare_experiment(dataset, scale=scale)
+    rows = []
+    results: Dict[str, Dict[str, float]] = {}
+    for label, model_name, kwargs in variants:
+        record = train_model(
+            setup, model_name, model_kwargs=kwargs,
+            training_overrides={"num_epochs": 2, "early_stopping_patience": 2},
+        )
+        results[label] = {
+            "#params": float(record.num_parameters),
+            "s/epoch": record.seconds_per_epoch,
+        }
+        rows.append([label, record.num_parameters, round(record.seconds_per_epoch, 3)])
+    table = format_table(
+        ["model", "#Params", "s/Epoch"], rows, precision=3,
+        title=f"Table IX — efficiency ({dataset})",
+    )
+    return {"dataset": dataset, "results": results, "table": table}
+
+
+# ---------------------------------------------------------------------- #
+# Extra ablation — ZCA epsilon sensitivity (beyond the paper)
+# ---------------------------------------------------------------------- #
+def run_ablation_zca_epsilon(dataset: str = "arts", scale: str = "bench",
+                             epsilons: Sequence[float] = (1e-2, 1e-4, 1e-6),
+                             epochs: Optional[int] = None) -> Dict:
+    """Sensitivity of WhitenRec to the covariance ridge used by ZCA."""
+    setup = prepare_experiment(dataset, scale=scale)
+    results: Dict[str, Dict[str, float]] = {}
+    for eps in epsilons:
+        record = train_model(setup, "whitenrec", model_kwargs={"whitening_eps": eps},
+                             training_overrides=_epoch_overrides(epochs))
+        results[f"eps={eps:g}"] = record.test_metrics
+    table = format_metric_table(
+        results, metric_order=["recall@20", "ndcg@20"],
+        title=f"Ablation — ZCA epsilon sensitivity ({dataset})",
+    )
+    return {"dataset": dataset, "results": results, "table": table}

@@ -1,0 +1,162 @@
+"""Base classes shared by all recommendation models.
+
+The paper's general framework (Fig. 1, Sec. III-A) has three parts:
+
+* an *item encoder* ``f_theta1`` that produces the candidate-item embedding
+  matrix ``V`` (from ID embeddings, text features, or whitened text features);
+* a *sequence encoder* ``f_theta2`` — a causal Transformer — whose last hidden
+  state is the user representation ``s``;
+* a *prediction layer* scoring every candidate item by the inner product
+  ``V s`` trained with full softmax cross-entropy (Eqn. 1-2).
+
+:class:`SequentialRecommender` implements the sequence encoder and the
+prediction/loss plumbing once; concrete models only override
+:meth:`item_representations` (and optionally add auxiliary losses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.dataloader import SequenceBatch
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+
+@dataclass
+class ModelConfig:
+    """Hyper-parameters shared by the sequential models.
+
+    The defaults follow the paper's implementation details (Sec. V-A4) but at
+    reduced scale: 2 self-attention blocks, 2 heads, 2 MLP layers in the
+    projection head; hidden size and max sequence length are scaled down so
+    the CPU-only substrate stays fast.
+    """
+
+    hidden_dim: int = 64
+    num_layers: int = 2
+    num_heads: int = 2
+    inner_dim: Optional[int] = None
+    dropout: float = 0.2
+    max_seq_length: int = 20
+    projection_hidden_layers: int = 2
+    seed: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class SequentialRecommender(nn.Module):
+    """Shared Transformer sequence encoder + softmax prediction layer."""
+
+    #: registry label; concrete models override it
+    model_name = "base"
+
+    def __init__(self, num_items: int, config: Optional[ModelConfig] = None):
+        super().__init__()
+        self.config = config or ModelConfig()
+        self.num_items = num_items
+        self.hidden_dim = self.config.hidden_dim
+        self.max_seq_length = self.config.max_seq_length
+        self._rng = np.random.default_rng(self.config.seed)
+
+        self.position_embedding = nn.Embedding(
+            self.max_seq_length, self.hidden_dim, rng=self._rng
+        )
+        self.input_layernorm = nn.LayerNorm(self.hidden_dim)
+        self.input_dropout = nn.Dropout(self.config.dropout, rng=self._rng)
+        self.encoder = nn.TransformerEncoder(
+            num_layers=self.config.num_layers,
+            hidden_dim=self.hidden_dim,
+            num_heads=self.config.num_heads,
+            inner_dim=self.config.inner_dim,
+            dropout=self.config.dropout,
+            causal=True,
+            rng=self._rng,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Item encoder interface
+    # ------------------------------------------------------------------ #
+    def item_representations(self) -> Tensor:
+        """Return the candidate item matrix ``V`` of shape (num_items+1, d).
+
+        Row 0 is the padding item.  Concrete models implement this from ID
+        embeddings, (whitened) text features, or a combination.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Sequence encoder
+    # ------------------------------------------------------------------ #
+    def encode_sequence(self, batch: SequenceBatch,
+                        item_matrix: Optional[Tensor] = None) -> Tensor:
+        """Compute user representations ``s`` for a batch of histories."""
+        item_matrix = item_matrix if item_matrix is not None else self.item_representations()
+        item_ids = batch.item_ids
+        batch_size, seq_len = item_ids.shape
+        if seq_len > self.max_seq_length:
+            raise ValueError(
+                f"batch sequence length {seq_len} exceeds max_seq_length "
+                f"{self.max_seq_length}"
+            )
+
+        item_emb = item_matrix.take_rows(item_ids)
+        positions = np.broadcast_to(np.arange(seq_len), (batch_size, seq_len))
+        position_emb = self.position_embedding(positions)
+
+        hidden = item_emb + position_emb
+        hidden = self.input_layernorm(hidden)
+        hidden = self.input_dropout(hidden)
+        hidden = self.encoder(hidden, lengths=batch.lengths)
+
+        # The user representation is the hidden state at the last position
+        # (sequences are left-padded, so the last position is always real).
+        return hidden[:, seq_len - 1, :]
+
+    # ------------------------------------------------------------------ #
+    # Prediction & loss
+    # ------------------------------------------------------------------ #
+    def score_all_items(self, batch: SequenceBatch) -> Tensor:
+        """Scores over the full catalogue: (batch, num_items + 1)."""
+        item_matrix = self.item_representations()
+        user = self.encode_sequence(batch, item_matrix)
+        return user.matmul(item_matrix.T)
+
+    def loss(self, batch: SequenceBatch) -> Tensor:
+        """Full softmax cross-entropy against the ground-truth next item."""
+        logits = self.score_all_items(batch)
+        return F.cross_entropy(logits, batch.targets)
+
+    def predict_scores(self, batch: SequenceBatch) -> np.ndarray:
+        """Numpy scores for evaluation (padding item masked to -inf)."""
+        was_training = self.training
+        self.eval()
+        scores = self.score_all_items(batch).numpy().copy()
+        scores[:, 0] = -np.inf
+        if was_training:
+            self.train()
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # Analysis hooks
+    # ------------------------------------------------------------------ #
+    def item_matrix_numpy(self) -> np.ndarray:
+        """Projected item embedding matrix as numpy (excludes padding row)."""
+        was_training = self.training
+        self.eval()
+        matrix = self.item_representations().numpy()[1:]
+        if was_training:
+            self.train()
+        return matrix
+
+    def user_matrix_numpy(self, batch: SequenceBatch) -> np.ndarray:
+        """User representations for a batch as numpy."""
+        was_training = self.training
+        self.eval()
+        users = self.encode_sequence(batch).numpy()
+        if was_training:
+            self.train()
+        return users

@@ -1,0 +1,172 @@
+"""Model registry: build any paper model by its Table III label.
+
+The experiment runners (and the README quickstart) construct models through
+:func:`build_model`, which hides the per-model constructor differences (some
+models need the pre-trained feature table, GRCN needs the training sequences
+to build its co-occurrence graph, the ID-only models need neither).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .base import ModelConfig, SequentialRecommender
+from .cl4srec import CL4SRec
+from .fdsa import FDSA
+from .general import BM3, GRCN
+from .gru4rec import GRU4Rec
+from .s3rec import S3Rec
+from .sasrec import SASRecID, SASRecText, SASRecTextID
+from .unisrec import UniSRec
+from .vqrec import VQRec
+from .whitenrec import WhitenRec, WhitenRecPlus
+
+# Canonical model names (keys) and the aliases used in the paper's tables.
+_ALIASES: Dict[str, str] = {
+    "grcn": "grcn",
+    "bm3": "bm3",
+    "sasrec_id": "sasrec_id",
+    "sasrec(id)": "sasrec_id",
+    "cl4srec": "cl4srec",
+    "sasrec_t": "sasrec_t",
+    "sasrec(t)": "sasrec_t",
+    "sasrec_t_id": "sasrec_t_id",
+    "sasrec(t+id)": "sasrec_t_id",
+    "s3rec": "s3rec",
+    "s3-rec": "s3rec",
+    "fdsa": "fdsa",
+    "unisrec_t": "unisrec_t",
+    "unisrec(t)": "unisrec_t",
+    "unisrec_t_id": "unisrec_t_id",
+    "unisrec(t+id)": "unisrec_t_id",
+    "vqrec": "vqrec",
+    "gru4rec": "gru4rec",
+    "whitenrec": "whitenrec",
+    "whitenrec_id": "whitenrec_id",
+    "whitenrec+": "whitenrec_plus",
+    "whitenrec_plus": "whitenrec_plus",
+    "whitenrec_plus_id": "whitenrec_plus_id",
+}
+
+#: model names that require the pre-trained text feature table
+TEXT_MODELS = {
+    "grcn", "bm3", "sasrec_t", "sasrec_t_id", "s3rec", "fdsa",
+    "unisrec_t", "unisrec_t_id", "vqrec", "whitenrec", "whitenrec_id",
+    "whitenrec_plus", "whitenrec_plus_id",
+}
+
+#: Table III column labels, in the paper's order
+PAPER_MODEL_ORDER: List[str] = [
+    "grcn", "bm3", "sasrec_id", "cl4srec", "sasrec_t", "sasrec_t_id",
+    "s3rec", "fdsa", "unisrec_t", "unisrec_t_id", "vqrec",
+    "whitenrec", "whitenrec_plus",
+]
+
+#: display labels matching the paper's tables
+DISPLAY_LABELS: Dict[str, str] = {
+    "grcn": "GRCN (T+ID)",
+    "bm3": "BM3 (T+ID)",
+    "sasrec_id": "SASRec (ID)",
+    "cl4srec": "CL4SRec (ID)",
+    "sasrec_t": "SASRec (T)",
+    "sasrec_t_id": "SASRec (T+ID)",
+    "s3rec": "S3-Rec (T+ID)",
+    "fdsa": "FDSA (T+ID)",
+    "unisrec_t": "UniSRec (T)",
+    "unisrec_t_id": "UniSRec (T+ID)",
+    "vqrec": "VQRec (T)",
+    "gru4rec": "GRU4Rec (ID)",
+    "whitenrec": "WhitenRec (T)",
+    "whitenrec_id": "WhitenRec (T+ID)",
+    "whitenrec_plus": "WhitenRec+ (T)",
+    "whitenrec_plus_id": "WhitenRec+ (T+ID)",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve a model name or alias to its canonical registry key."""
+    key = name.strip().lower().replace(" ", "")
+    if key not in _ALIASES:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(set(_ALIASES.values()))}")
+    return _ALIASES[key]
+
+
+def available_models() -> List[str]:
+    return sorted(set(_ALIASES.values()))
+
+
+def requires_text_features(name: str) -> bool:
+    return canonical_name(name) in TEXT_MODELS
+
+
+def display_label(name: str) -> str:
+    return DISPLAY_LABELS.get(canonical_name(name), name)
+
+
+def build_model(name: str, num_items: int,
+                feature_table: Optional[np.ndarray] = None,
+                train_sequences: Optional[Dict[int, List[int]]] = None,
+                config: Optional[ModelConfig] = None,
+                **kwargs) -> SequentialRecommender:
+    """Construct a model by (alias) name.
+
+    Parameters
+    ----------
+    name:
+        Any alias accepted by :func:`canonical_name`.
+    num_items:
+        Catalogue size.
+    feature_table:
+        Padded pre-trained text feature table; required by text models.
+    train_sequences:
+        Training sequences (only needed by GRCN's co-occurrence graph).
+    config:
+        Shared :class:`ModelConfig`.
+    kwargs:
+        Forwarded to the model constructor (e.g. ``relaxed_groups`` or
+        ``ensemble`` for WhitenRec+).
+    """
+    key = canonical_name(name)
+    if key in TEXT_MODELS and feature_table is None:
+        raise ValueError(f"model {key!r} requires a pre-trained feature table")
+
+    if key == "sasrec_id":
+        return SASRecID(num_items, config=config, **kwargs)
+    if key == "cl4srec":
+        return CL4SRec(num_items, config=config, **kwargs)
+    if key == "gru4rec":
+        return GRU4Rec(num_items, config=config, **kwargs)
+    if key == "sasrec_t":
+        return SASRecText(num_items, feature_table, config=config, **kwargs)
+    if key == "sasrec_t_id":
+        return SASRecTextID(num_items, feature_table, config=config, **kwargs)
+    if key == "s3rec":
+        return S3Rec(num_items, feature_table, config=config, **kwargs)
+    if key == "fdsa":
+        return FDSA(num_items, feature_table, config=config, **kwargs)
+    if key == "unisrec_t":
+        return UniSRec(num_items, feature_table, config=config,
+                       use_id_embeddings=False, **kwargs)
+    if key == "unisrec_t_id":
+        return UniSRec(num_items, feature_table, config=config,
+                       use_id_embeddings=True, **kwargs)
+    if key == "vqrec":
+        return VQRec(num_items, feature_table, config=config, **kwargs)
+    if key == "grcn":
+        return GRCN(num_items, feature_table, train_sequences=train_sequences,
+                    config=config, **kwargs)
+    if key == "bm3":
+        return BM3(num_items, feature_table, config=config, **kwargs)
+    if key == "whitenrec":
+        return WhitenRec(num_items, feature_table, config=config, **kwargs)
+    if key == "whitenrec_id":
+        return WhitenRec(num_items, feature_table, config=config,
+                         use_id_embeddings=True, **kwargs)
+    if key == "whitenrec_plus":
+        return WhitenRecPlus(num_items, feature_table, config=config, **kwargs)
+    if key == "whitenrec_plus_id":
+        return WhitenRecPlus(num_items, feature_table, config=config,
+                             use_id_embeddings=True, **kwargs)
+    raise KeyError(f"unhandled model key {key!r}")

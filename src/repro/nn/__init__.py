@@ -1,0 +1,62 @@
+"""Minimal neural-network substrate (autograd + layers) replacing PyTorch.
+
+The public surface mirrors the small subset of ``torch`` / ``torch.nn`` that
+the paper's models require.
+"""
+
+from . import functional
+from . import init
+from .attention import (
+    MultiHeadSelfAttention,
+    PositionwiseFeedForward,
+    TransformerBlock,
+    TransformerEncoder,
+)
+from .layers import (
+    Dropout,
+    Embedding,
+    FrozenEmbedding,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    MLPProjectionHead,
+    MoEProjectionHead,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from .module import Module, Parameter
+from .optim import Adam, Optimizer, SGD, clip_grad_norm
+from .tensor import Tensor, concatenate, stack, where
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "Embedding",
+    "FrozenEmbedding",
+    "GELU",
+    "Identity",
+    "LayerNorm",
+    "Linear",
+    "MLPProjectionHead",
+    "MoEProjectionHead",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "PositionwiseFeedForward",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "Tensor",
+    "TransformerBlock",
+    "TransformerEncoder",
+    "clip_grad_norm",
+    "concatenate",
+    "functional",
+    "init",
+    "stack",
+    "where",
+]

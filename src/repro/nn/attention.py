@@ -1,0 +1,164 @@
+"""Transformer building blocks: multi-head self-attention and encoder layers.
+
+The sequence encoder ``f_theta2`` in the paper is the standard Transformer
+used by SASRec: stacked blocks of (causal) multi-head self-attention and a
+position-wise feed-forward network, each wrapped with residual connections,
+dropout and layer normalisation.  BERT4Rec-style bidirectional attention is
+obtained by simply not applying the causal mask.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, Linear, LayerNorm
+from .module import Module
+from .tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention.
+
+    Parameters
+    ----------
+    hidden_dim:
+        Model dimension ``d``.
+    num_heads:
+        Number of attention heads; must divide ``hidden_dim``.
+    dropout:
+        Dropout probability applied to the attention weights and the output
+        projection.
+    """
+
+    def __init__(self, hidden_dim: int, num_heads: int, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if hidden_dim % num_heads != 0:
+            raise ValueError(
+                f"hidden_dim ({hidden_dim}) must be divisible by num_heads ({num_heads})"
+            )
+        rng = rng or np.random.default_rng()
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.head_dim = hidden_dim // num_heads
+        self.query = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.key = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.value = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.output = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+        self.out_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq_len: int) -> Tensor:
+        # (batch, seq, hidden) -> (batch, heads, seq, head_dim)
+        return x.reshape(batch, seq_len, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Apply self-attention.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, seq_len, hidden_dim)``.
+        attention_mask:
+            Boolean array broadcastable to ``(batch, num_heads, seq_len,
+            seq_len)``; ``True`` marks positions that must NOT be attended to.
+        """
+        batch, seq_len, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq_len)
+        k = self._split_heads(self.key(x), batch, seq_len)
+        v = self._split_heads(self.value(x), batch, seq_len)
+
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if attention_mask is not None:
+            scores = F.masked_fill(scores, attention_mask)
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+
+        context = weights.matmul(v)  # (batch, heads, seq, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.hidden_dim)
+        return self.out_dropout(self.output(context))
+
+
+class PositionwiseFeedForward(Module):
+    """Two-layer feed-forward network applied at every position."""
+
+    def __init__(self, hidden_dim: int, inner_dim: Optional[int] = None,
+                 dropout: float = 0.0, activation: str = "gelu",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        inner_dim = inner_dim or hidden_dim * 4
+        self.fc1 = Linear(hidden_dim, inner_dim, rng=rng)
+        self.fc2 = Linear(inner_dim, hidden_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x)
+        hidden = hidden.gelu() if self.activation == "gelu" else hidden.relu()
+        hidden = self.dropout(hidden)
+        return self.dropout(self.fc2(hidden))
+
+
+class TransformerBlock(Module):
+    """One Transformer encoder block (post-layer-norm, SASRec convention)."""
+
+    def __init__(self, hidden_dim: int, num_heads: int, inner_dim: Optional[int] = None,
+                 dropout: float = 0.0, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.attention = MultiHeadSelfAttention(hidden_dim, num_heads, dropout, rng=rng)
+        self.attention_norm = LayerNorm(hidden_dim)
+        self.feed_forward = PositionwiseFeedForward(hidden_dim, inner_dim, dropout, rng=rng)
+        self.feed_forward_norm = LayerNorm(hidden_dim)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(x, attention_mask)
+        x = self.attention_norm(x + attended)
+        transformed = self.feed_forward(x)
+        return self.feed_forward_norm(x + transformed)
+
+
+class TransformerEncoder(Module):
+    """A stack of Transformer blocks with optional causal masking.
+
+    This is the shared sequence encoder of every model variant in the paper
+    (SASRec_ID, SASRec_T, WhitenRec, WhitenRec+, UniSRec, ...).
+    """
+
+    def __init__(self, num_layers: int, hidden_dim: int, num_heads: int,
+                 inner_dim: Optional[int] = None, dropout: float = 0.0,
+                 causal: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.causal = causal
+        self.blocks = [
+            TransformerBlock(hidden_dim, num_heads, inner_dim, dropout, rng=rng)
+            for _ in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor, lengths: Optional[np.ndarray] = None) -> Tensor:
+        """Encode a batch of (left-padded) sequences.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, seq_len, hidden_dim)``.
+        lengths:
+            True (unpadded) lengths of each sequence; padded positions are
+            masked out of the attention.
+        """
+        batch, seq_len, _ = x.shape
+        mask = np.zeros((batch, 1, seq_len, seq_len), dtype=bool)
+        if self.causal:
+            mask |= F.causal_mask(seq_len)[None, None, :, :]
+        if lengths is not None:
+            pad = F.padding_mask(lengths, seq_len)  # (batch, seq_len)
+            mask |= pad[:, None, None, :]
+
+        for block in self.blocks:
+            x = block(x, mask)
+        return x

@@ -1,0 +1,162 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+These free functions mirror the parts of ``torch.nn.functional`` that the
+models in this reproduction need: softmax / log-softmax, cross entropy over
+the full item catalogue, layer normalisation, dropout and masking utilities
+for causal self-attention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, where
+
+# A large negative value used to mask attention logits.  Using an actual
+# ``-inf`` would produce NaNs when an entire row is masked, so we follow the
+# common practice of a large finite constant.
+MASK_VALUE = -1e9
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - log_norm
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: Optional[int] = None,
+                  reduction: str = "mean") -> Tensor:
+    """Cross-entropy loss between ``logits`` and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, num_classes)``.
+    targets:
+        Integer array of shape ``(batch,)``.
+    ignore_index:
+        Optional target value whose rows are excluded from the loss (used for
+        padded positions).
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects 2-D logits (batch, num_classes)")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError("targets must be 1-D and aligned with logits rows")
+
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    rows = np.arange(batch)
+
+    if ignore_index is not None:
+        keep = targets != ignore_index
+        safe_targets = np.where(keep, targets, 0)
+    else:
+        keep = np.ones(batch, dtype=bool)
+        safe_targets = targets
+
+    picked = log_probs[rows, safe_targets]
+    mask = Tensor(keep.astype(np.float64))
+    losses = -picked * mask
+
+    if reduction == "none":
+        return losses
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "mean":
+        denom = max(int(keep.sum()), 1)
+        return losses.sum() * (1.0 / denom)
+    raise ValueError(f"unknown reduction: {reduction!r}")
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                                     reduction: str = "mean") -> Tensor:
+    """Numerically stable BCE-with-logits (used by S3-Rec style objectives)."""
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    # log(1 + exp(-|x|)) + max(x, 0) - x * y
+    abs_neg = Tensor(-np.abs(logits.data))
+    log_term = (abs_neg.exp() + 1.0).log()
+    max_term = Tensor(np.maximum(logits.data, 0.0))
+    losses = log_term + max_term - logits * targets_t
+    if reduction == "none":
+        return losses
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "mean":
+        return losses.mean()
+    raise ValueError(f"unknown reduction: {reduction!r}")
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-12) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered / (var + eps).sqrt()
+    return normed * weight + bias
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: at train time zero entries with probability ``p``."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float = MASK_VALUE) -> Tensor:
+    """Replace entries where ``mask`` is True with ``value``."""
+    fill = Tensor(np.full(x.shape, value))
+    return where(~np.asarray(mask, dtype=bool), x, fill)
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Boolean mask of shape (seq_len, seq_len), True where attention is *blocked*."""
+    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+
+
+def padding_mask(lengths: np.ndarray, seq_len: int) -> np.ndarray:
+    """Boolean mask of shape (batch, seq_len), True at padded positions.
+
+    Sequences are assumed right-aligned is *not* required; the models in this
+    repository left-pad, so padding occupies the first ``seq_len - length``
+    positions of each row.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    positions = np.arange(seq_len)[None, :]
+    starts = (seq_len - lengths)[:, None]
+    return positions < starts
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """L2-normalise ``x`` along ``axis``."""
+    norm = (x * x).sum(axis=axis, keepdims=True)
+    return x / (norm + eps).sqrt()
+
+
+def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    losses = diff * diff
+    if reduction == "none":
+        return losses
+    if reduction == "sum":
+        return losses.sum()
+    return losses.mean()

@@ -1,0 +1,567 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the lowest layer of the ``repro.nn`` substrate that replaces
+PyTorch for this reproduction.  It provides a :class:`Tensor` class that wraps
+a ``numpy.ndarray`` and records the operations applied to it so that gradients
+can be computed with :meth:`Tensor.backward`.
+
+The implementation is intentionally small and explicit: every differentiable
+operation creates a new :class:`Tensor` whose ``_backward`` closure knows how
+to propagate the upstream gradient to its parents.  A topological sort over
+the recorded graph drives back-propagation.
+
+Only the operations required by the models in this repository are
+implemented, but they are implemented for arbitrary batch shapes and with
+full broadcasting support, which is what the Transformer-based recommenders
+need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+    """Coerce ``data`` into a numpy array of the requested dtype."""
+    if isinstance(data, np.ndarray):
+        if data.dtype == dtype:
+            return data
+        return data.astype(dtype)
+    return np.asarray(data, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    Numpy broadcasting can expand an operand along new leading axes or along
+    axes of size one.  The gradient of a broadcast operand is the sum of the
+    upstream gradient over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        The underlying values.  Stored as ``float64`` for numerical fidelity
+        (the datasets in this reproduction are small, so memory is not a
+        concern).
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = None
+        self._prev: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the raw numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Graph utilities
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ensure_tensor(other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(other)
+
+    def _make_child(self, data: np.ndarray, parents: Iterable["Tensor"]) -> "Tensor":
+        parents = tuple(parents)
+        requires_grad = any(p.requires_grad for p in parents)
+        child = Tensor(data, requires_grad=requires_grad)
+        if requires_grad:
+            child._prev = parents
+        return child
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate through the recorded graph starting from ``self``.
+
+        If ``grad`` is omitted, ``self`` must be a scalar and the seed
+        gradient is 1.0 (the usual loss.backward() convention).
+        """
+        if grad is None:
+            if self.size != 1:
+                raise ValueError("backward() without a gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+
+        # Topological order of the graph reachable from self.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure_tensor(other)
+        out = self._make_child(self.data + other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_child(-self.data, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure_tensor(other)
+        out = self._make_child(self.data - other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(-grad, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._ensure_tensor(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure_tensor(other)
+        out = self._make_child(self.data * other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._ensure_tensor(other)
+        out = self._make_child(self.data / other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+            )
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._ensure_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = self._make_child(self.data ** exponent, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Matrix multiplication supporting batched operands."""
+        other = self._ensure_tensor(other)
+        out = self._make_child(self.data @ other.data, (self, other))
+
+        def _backward(grad: np.ndarray) -> None:
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                # inner product
+                self._accumulate(grad * b)
+                other._accumulate(grad * a)
+                return
+            if a.ndim == 1:
+                a_mat = a.reshape(1, -1)
+                grad_mat = np.expand_dims(grad, axis=-2)
+                ga = (grad_mat @ np.swapaxes(b, -1, -2)).reshape(a.shape)
+                gb = np.swapaxes(a_mat, -1, -2) @ grad_mat
+                self._accumulate(_unbroadcast(ga, self.shape))
+                other._accumulate(_unbroadcast(gb, other.shape))
+                return
+            if b.ndim == 1:
+                b_mat = b.reshape(-1, 1)
+                grad_mat = np.expand_dims(grad, axis=-1)
+                ga = grad_mat @ np.swapaxes(b_mat, -1, -2)
+                gb = (np.swapaxes(a, -1, -2) @ grad_mat).reshape(b.shape)
+                self._accumulate(_unbroadcast(ga, self.shape))
+                other._accumulate(_unbroadcast(np.sum(gb, axis=tuple(range(gb.ndim - 1))) if gb.ndim > 1 else gb, other.shape))
+                return
+            ga = grad @ np.swapaxes(b, -1, -2)
+            gb = np.swapaxes(a, -1, -2) @ grad
+            self._accumulate(_unbroadcast(ga, self.shape))
+            other._accumulate(_unbroadcast(gb, other.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+        out = self._make_child(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * value)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make_child(np.log(self.data), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def sqrt(self) -> "Tensor":
+        value = np.sqrt(self.data)
+        out = self._make_child(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / value)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        out = self._make_child(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - value ** 2))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_child(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * value * (1.0 - value))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make_child(self.data * mask, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian Error Linear Unit (tanh approximation)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        value = 0.5 * x * (1.0 + t)
+        out = self._make_child(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            dinner = c * (1.0 + 3 * 0.044715 * x ** 2)
+            dt = (1.0 - t ** 2) * dinner
+            dvalue = 0.5 * (1.0 + t) + 0.5 * x * dt
+            self._accumulate(grad * dvalue)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Reductions and shape manipulation
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                g = np.expand_dims(g, axis=axes)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum reduction (gradient flows to the arg-max entries)."""
+        value = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_child(value, (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            if axis is None:
+                mask = (self.data == value).astype(self.data.dtype)
+                mask /= mask.sum()
+                self._accumulate(grad * mask)
+                return
+            expanded = value if keepdims else np.expand_dims(value, axis=axis)
+            g = grad if keepdims else np.expand_dims(grad, axis=axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(g * mask)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make_child(self.data.reshape(shape), (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out = self._make_child(self.data.transpose(axes), (self,))
+        inverse = np.argsort(axes)
+
+        def _backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_child(self.data[index], (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (axis 0) by an integer index array of any shape.
+
+        This is the embedding-lookup primitive: ``self`` has shape
+        ``(num_rows, dim)`` and the result has shape ``indices.shape + (dim,)``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        out = self._make_child(self.data[indices], (self,))
+
+        def _backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, self.data.shape[-1]))
+            self._accumulate(full)
+
+        out._backward = _backward if out.requires_grad else None
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, rng: Optional[np.random.Generator] = None,
+              scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [Tensor._ensure_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires_grad = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires_grad)
+    if not requires_grad:
+        return out
+    out._prev = tuple(tensors)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward(grad: np.ndarray) -> None:
+        for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, end)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [Tensor._ensure_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires_grad = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires_grad)
+    if not requires_grad:
+        return out
+    out._prev = tuple(tensors)
+
+    def _backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select: ``condition ? a : b`` with gradient support."""
+    a = Tensor._ensure_tensor(a)
+    b = Tensor._ensure_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, a.data, b.data)
+    requires_grad = a.requires_grad or b.requires_grad
+    out = Tensor(data, requires_grad=requires_grad)
+    if not requires_grad:
+        return out
+    out._prev = (a, b)
+
+    def _backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad * condition, a.shape))
+        b._accumulate(_unbroadcast(grad * (~condition), b.shape))
+
+    out._backward = _backward
+    return out

@@ -1,0 +1,48 @@
+"""Helpers for item feature tables used by the models.
+
+The models consume a dense ``(num_items + 1, dim)`` matrix whose row 0 is the
+padding item (all zeros) and whose row ``i`` (1-based) is the pre-trained
+text embedding of item ``i - 1`` in the catalogue.  This module centralises
+that convention so that every model and whitening routine agrees on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .corpus import ItemRecord, item_texts
+from .encoder import EncoderConfig, PretrainedTextEncoder
+
+PADDING_ITEM = 0
+
+
+def build_feature_table(embeddings: np.ndarray) -> np.ndarray:
+    """Prepend a zero row for the padding item to an item-embedding matrix."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise ValueError("embeddings must be a 2-D (num_items, dim) matrix")
+    padded = np.zeros((embeddings.shape[0] + 1, embeddings.shape[1]))
+    padded[1:] = embeddings
+    return padded
+
+
+def strip_padding_row(table: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`build_feature_table`."""
+    return np.asarray(table)[1:]
+
+
+def encode_items(records: Sequence[ItemRecord], embedding_dim: int = 64,
+                 seed: int = 0, config: Optional[EncoderConfig] = None) -> np.ndarray:
+    """Encode a catalogue into a padded feature table.
+
+    Returns a ``(num_items + 1, embedding_dim)`` matrix aligned with the
+    1-based item ids used by the interaction data.
+    """
+    if config is None:
+        config = EncoderConfig(embedding_dim=embedding_dim, seed=seed)
+        config.semantic_dim = max(8, min(int(embedding_dim * 0.75), embedding_dim - 1))
+    encoder = PretrainedTextEncoder(config)
+    embeddings = encoder.encode(item_texts(records))
+    return build_feature_table(embeddings)

@@ -1,0 +1,33 @@
+"""Training configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the training loop.
+
+    The defaults mirror the paper's implementation details (Sec. V-A4) scaled
+    down for the CPU substrate: Adam, early stopping when validation NDCG@20
+    has not improved for ``early_stopping_patience`` epochs, batch size and
+    sequence length reduced.
+    """
+
+    num_epochs: int = 30
+    batch_size: int = 256
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    max_sequence_length: int = 20
+    early_stopping_patience: int = 10
+    early_stopping_metric: str = "ndcg@20"
+    eval_batch_size: int = 512
+    grad_clip_norm: Optional[float] = 5.0
+    augment_prefixes: bool = True
+    metric_ks: List[int] = field(default_factory=lambda: [20, 50])
+    seed: int = 0
+    track_condition_number: bool = False
+    track_alignment_uniformity: bool = False
+    verbose: bool = False

@@ -1,0 +1,141 @@
+"""Full-ranking evaluation: Recall@K and NDCG@K.
+
+The paper evaluates every method on the *entire* item set without negative
+sampling (Sec. V-A3, citing Krichene & Rendle's critique of sampled metrics)
+and reports Recall@K and NDCG@K for K in {20, 50}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataloader import evaluation_batches
+from ..data.splits import EvaluationCase
+
+
+def recall_at_k(ranks: np.ndarray, k: int) -> float:
+    """Fraction of cases whose ground-truth item ranks within the top ``k``.
+
+    With a single relevant item per case (leave-one-out), Recall@K equals
+    HitRate@K.
+    """
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    return float((ranks <= k).mean())
+
+
+def ndcg_at_k(ranks: np.ndarray, k: int) -> float:
+    """NDCG@K with one relevant item per case: 1/log2(rank+1) if rank <= k."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    gains = np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0), 0.0)
+    return float(gains.mean())
+
+
+def mrr_at_k(ranks: np.ndarray, k: int) -> float:
+    """Mean reciprocal rank truncated at ``k`` (not reported in the paper, but
+    a common companion metric exposed for downstream users)."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    reciprocal = np.where(ranks <= k, 1.0 / ranks, 0.0)
+    return float(reciprocal.mean())
+
+
+def target_ranks(scores: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Compute the 1-based rank of each target item in its score row."""
+    scores = np.asarray(scores, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.int64)
+    target_scores = scores[np.arange(len(targets)), targets]
+    # Rank = 1 + number of items scored strictly higher than the target.
+    higher = (scores > target_scores[:, None]).sum(axis=1)
+    return higher + 1
+
+
+def compute_metrics(ranks: np.ndarray, ks: Sequence[int],
+                    include_mrr: bool = False) -> Dict[str, float]:
+    """Recall@K / NDCG@K (and optionally MRR@K) keyed like ``"recall@20"``."""
+    metrics: Dict[str, float] = {}
+    for k in ks:
+        metrics[f"recall@{k}"] = recall_at_k(ranks, k)
+        metrics[f"ndcg@{k}"] = ndcg_at_k(ranks, k)
+        if include_mrr:
+            metrics[f"mrr@{k}"] = mrr_at_k(ranks, k)
+    return metrics
+
+
+def evaluate_model(model, cases: Sequence[EvaluationCase],
+                   ks: Sequence[int] = (20, 50), batch_size: int = 512,
+                   max_sequence_length: int = 20,
+                   candidate_items: Optional[Iterable[int]] = None) -> Dict[str, float]:
+    """Evaluate a model on evaluation cases with full (unsampled) ranking.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.models.base.SequentialRecommender`.
+    cases:
+        Evaluation cases (history + ground-truth target).
+    ks:
+        Cut-offs for Recall/NDCG.
+    candidate_items:
+        Optional restriction of the candidate set (unused by default: the
+        paper ranks against the whole catalogue).
+    """
+    if not cases:
+        return {f"{metric}@{k}": 0.0 for k in ks for metric in ("recall", "ndcg")}
+
+    all_ranks: List[np.ndarray] = []
+    candidate_mask = None
+    if candidate_items is not None:
+        candidate_mask = np.zeros(model.num_items + 1, dtype=bool)
+        candidate_mask[list(candidate_items)] = True
+
+    for batch in evaluation_batches(list(cases), batch_size, max_sequence_length):
+        scores = model.predict_scores(batch)
+        if candidate_mask is not None:
+            # Targets must stay scoreable even if the caller forgot them.
+            mask = candidate_mask.copy()
+            mask[batch.targets] = True
+            scores[:, ~mask] = -np.inf
+        all_ranks.append(target_ranks(scores, batch.targets))
+
+    ranks = np.concatenate(all_ranks)
+    return compute_metrics(ranks, ks)
+
+
+def evaluate_model_sampled(model, cases: Sequence[EvaluationCase],
+                           num_negatives: int = 100,
+                           ks: Sequence[int] = (20, 50),
+                           batch_size: int = 512,
+                           max_sequence_length: int = 20,
+                           seed: int = 0) -> Dict[str, float]:
+    """Sampled-negative evaluation (the protocol the paper deliberately avoids).
+
+    Each ground-truth item is ranked against ``num_negatives`` uniformly
+    sampled negative items instead of the full catalogue.  The paper follows
+    Krichene & Rendle's recommendation and evaluates on the entire item set;
+    this function exists so that the inconsistency of sampled metrics can be
+    demonstrated (and for downstream users with very large catalogues).
+    """
+    if not cases:
+        return {f"{metric}@{k}": 0.0 for k in ks for metric in ("recall", "ndcg")}
+    rng = np.random.default_rng(seed)
+    all_ranks: List[int] = []
+    catalogue = np.arange(1, model.num_items + 1)
+    for batch in evaluation_batches(list(cases), batch_size, max_sequence_length):
+        scores = model.predict_scores(batch)
+        for row, target in enumerate(batch.targets):
+            pool = catalogue[catalogue != target]
+            sample_size = min(num_negatives, pool.size)
+            negatives = rng.choice(pool, size=sample_size, replace=False)
+            candidate_scores = np.concatenate(
+                ([scores[row, target]], scores[row, negatives])
+            )
+            rank = 1 + int((candidate_scores[1:] > candidate_scores[0]).sum())
+            all_ranks.append(rank)
+    return compute_metrics(np.asarray(all_ranks), ks)

@@ -1,0 +1,53 @@
+"""Whitening transformations and embedding-geometry diagnostics."""
+
+from .base import (
+    IdentityWhitening,
+    WhiteningTransform,
+    available_whitenings,
+    centered_covariance,
+    get_whitening,
+    register_whitening,
+)
+from .flow import FlowGaussianization
+from .group import GroupWhitening, group_slices, resolve_group_count, whiten_with_groups
+from .linear import BatchNormWhitening, CholeskyWhitening, PCAWhitening, ZCAWhitening
+from .metrics import (
+    cosine_similarity_cdf,
+    covariance_condition_number,
+    covariance_off_diagonal_ratio,
+    isotropy_score,
+    mean_pairwise_cosine,
+    pairwise_cosine_similarities,
+    singular_values,
+    spectral_decay_ratio,
+    whitening_error,
+)
+from .parametric import ParametricWhitening
+
+__all__ = [
+    "BatchNormWhitening",
+    "CholeskyWhitening",
+    "FlowGaussianization",
+    "GroupWhitening",
+    "IdentityWhitening",
+    "PCAWhitening",
+    "ParametricWhitening",
+    "WhiteningTransform",
+    "ZCAWhitening",
+    "available_whitenings",
+    "centered_covariance",
+    "cosine_similarity_cdf",
+    "covariance_condition_number",
+    "covariance_off_diagonal_ratio",
+    "get_whitening",
+    "group_slices",
+    "isotropy_score",
+    "mean_pairwise_cosine",
+    "pairwise_cosine_similarities",
+    "register_whitening",
+    "resolve_group_count",
+    "singular_values",
+    "spectral_decay_ratio",
+    "whiten_with_groups",
+    "whitening_error",
+]

@@ -1,0 +1,121 @@
+"""Whitening transform interface and registry.
+
+All non-parametric whitening methods share the same protocol: ``fit`` on an
+item-embedding matrix (rows are items, columns are feature dimensions), then
+``transform`` maps embeddings into the whitened space.  The paper's Eqn. (3)
+writes the item matrix as ``X ∈ R^{d_t × |I|}`` (columns are items); this code
+uses the row-major convention ``(|I|, d_t)`` which is the transpose but
+mathematically identical.
+
+Transforms are fitted once on the *pre-trained* text embeddings (whitening is
+a pre-processing step, Sec. IV-E points out it can be pre-computed), so the
+models never re-estimate statistics during training.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+class WhiteningTransform:
+    """Base class for non-parametric whitening transforms."""
+
+    #: human readable name used by the registry and in reports
+    name: str = "identity"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, embeddings: np.ndarray) -> "WhiteningTransform":
+        """Estimate the transform from ``embeddings`` of shape (num_items, dim)."""
+        raise NotImplementedError
+
+    def transform(self, embeddings: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform to ``embeddings``."""
+        raise NotImplementedError
+
+    def fit_transform(self, embeddings: np.ndarray) -> np.ndarray:
+        return self.fit(embeddings).transform(embeddings)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before transform()")
+
+    @staticmethod
+    def _validate(embeddings: np.ndarray) -> np.ndarray:
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2:
+            raise ValueError("whitening expects a 2-D (num_items, dim) matrix")
+        if embeddings.shape[0] < 2:
+            raise ValueError("whitening requires at least two items")
+        return embeddings
+
+
+class IdentityWhitening(WhiteningTransform):
+    """No-op transform ("Raw" in the paper's figures)."""
+
+    name = "raw"
+
+    def fit(self, embeddings: np.ndarray) -> "IdentityWhitening":
+        self._validate(embeddings)
+        self._fitted = True
+        return self
+
+    def transform(self, embeddings: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(embeddings, dtype=np.float64).copy()
+
+
+def centered_covariance(embeddings: np.ndarray, eps: float = 0.0) -> tuple:
+    """Return (mean, covariance + eps*I) of a (num_items, dim) matrix.
+
+    This mirrors Σ in Eqn. (4): the covariance of the centred inputs with a
+    small ridge ``eps`` for numerical stability.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    mean = embeddings.mean(axis=0)
+    centered = embeddings - mean
+    covariance = centered.T @ centered / embeddings.shape[0]
+    if eps:
+        covariance = covariance + eps * np.eye(covariance.shape[0])
+    return mean, covariance
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Callable[..., WhiteningTransform]] = {}
+
+
+def register_whitening(name: str) -> Callable:
+    """Class decorator registering a whitening transform under ``name``."""
+
+    def decorator(cls):
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return decorator
+
+
+def available_whitenings() -> list:
+    """Names of all registered whitening methods."""
+    return sorted(_REGISTRY)
+
+
+def get_whitening(name: str, **kwargs) -> WhiteningTransform:
+    """Instantiate a registered whitening transform by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown whitening {name!r}; available: {available_whitenings()}")
+    return _REGISTRY[name](**kwargs)
+
+
+# Register the identity under both of its common names.
+_REGISTRY["raw"] = IdentityWhitening
+_REGISTRY["identity"] = IdentityWhitening

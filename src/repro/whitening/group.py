@@ -1,0 +1,111 @@
+"""Group ("relaxed") whitening — Eqn. (5) of the paper.
+
+Group whitening splits the ``d_t`` feature dimensions into ``G`` contiguous
+groups and applies ZCA whitening to each group independently.  Correlations
+*within* a group are removed; correlations *between* groups are kept, which
+preserves more of the original text semantics at the expense of embedding
+uniformity.  ``G = 1`` recovers full whitening; larger ``G`` relaxes it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .base import IdentityWhitening, WhiteningTransform, register_whitening
+from .linear import ZCAWhitening
+
+
+GroupSpec = Union[int, str, None]
+
+
+def resolve_group_count(groups: GroupSpec, dim: int) -> Optional[int]:
+    """Normalise a group specification.
+
+    ``None`` or the string ``"raw"`` means "no whitening" and returns None.
+    An integer is clipped to ``[1, dim]``.
+    """
+    if groups is None:
+        return None
+    if isinstance(groups, str):
+        if groups.lower() in {"raw", "none"}:
+            return None
+        groups = int(groups)
+    if groups < 1:
+        raise ValueError("number of groups must be >= 1")
+    return min(int(groups), dim)
+
+
+def group_slices(dim: int, num_groups: int) -> List[slice]:
+    """Split ``dim`` dimensions into ``num_groups`` contiguous slices.
+
+    When ``dim`` is not divisible by ``num_groups``, the first groups take one
+    extra dimension so that every dimension belongs to exactly one group.
+    """
+    if num_groups < 1 or num_groups > dim:
+        raise ValueError(f"num_groups must be in [1, {dim}], got {num_groups}")
+    base, remainder = divmod(dim, num_groups)
+    slices: List[slice] = []
+    start = 0
+    for group in range(num_groups):
+        size = base + (1 if group < remainder else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+@register_whitening("group_zca")
+class GroupWhitening(WhiteningTransform):
+    """Relaxed whitening with ``num_groups`` independent ZCA transforms.
+
+    Parameters
+    ----------
+    num_groups:
+        Number of dimension groups G.  ``1`` is full whitening; ``"raw"`` or
+        ``None`` disables whitening entirely (identity).
+    eps:
+        Covariance ridge passed to each per-group ZCA.
+    """
+
+    def __init__(self, num_groups: GroupSpec = 1, eps: float = 1e-5):
+        super().__init__()
+        self._raw_spec = num_groups
+        self.eps = eps
+        self.num_groups: Optional[int] = None
+        self._slices: List[slice] = []
+        self._transforms: List[WhiteningTransform] = []
+
+    def fit(self, embeddings: np.ndarray) -> "GroupWhitening":
+        embeddings = self._validate(embeddings)
+        dim = embeddings.shape[1]
+        self.num_groups = resolve_group_count(self._raw_spec, dim)
+
+        self._slices = []
+        self._transforms = []
+        if self.num_groups is None:
+            identity = IdentityWhitening().fit(embeddings)
+            self._slices = [slice(0, dim)]
+            self._transforms = [identity]
+        else:
+            for group_slice in group_slices(dim, self.num_groups):
+                zca = ZCAWhitening(eps=self.eps)
+                zca.fit(embeddings[:, group_slice])
+                self._slices.append(group_slice)
+                self._transforms.append(zca)
+        self._fitted = True
+        return self
+
+    def transform(self, embeddings: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        output = np.empty_like(embeddings)
+        for group_slice, transform in zip(self._slices, self._transforms):
+            output[:, group_slice] = transform.transform(embeddings[:, group_slice])
+        return output
+
+
+def whiten_with_groups(embeddings: np.ndarray, num_groups: GroupSpec,
+                       eps: float = 1e-5) -> np.ndarray:
+    """One-call helper: fit and apply group whitening with G groups."""
+    return GroupWhitening(num_groups=num_groups, eps=eps).fit_transform(embeddings)

@@ -1,0 +1,99 @@
+"""Linear (matrix-based) whitening transforms: ZCA, PCA, Cholesky, BatchNorm.
+
+All four methods share the same structure: estimate the mean μ and covariance
+Σ of the pre-trained embeddings, then derive a whitening matrix Φ such that
+the transformed data ``Z = (X - μ) Φᵀ`` has (approximately) identity
+covariance.  They differ only in the choice of Φ (Sec. II-C / V-E):
+
+* **ZCA**     Φ = D Λ^{-1/2} Dᵀ — whitens and rotates back to the original
+  axes; the paper's default and best performer.
+* **PCA**     Φ = Λ^{-1/2} Dᵀ — whitens in the eigenbasis; suffers from
+  stochastic axis swapping (Table VI discussion).
+* **Cholesky** Φ = L^{-1} with Σ = L Lᵀ — triangular whitening.
+* **BatchNorm** Φ = diag(σ)^{-1/2} — per-dimension standardisation only; no
+  decorrelation across axes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import WhiteningTransform, centered_covariance, register_whitening
+
+
+class _MatrixWhitening(WhiteningTransform):
+    """Shared implementation for transforms defined by a whitening matrix."""
+
+    def __init__(self, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.mean_: Optional[np.ndarray] = None
+        self.matrix_: Optional[np.ndarray] = None
+
+    def _compute_matrix(self, covariance: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit(self, embeddings: np.ndarray) -> "_MatrixWhitening":
+        embeddings = self._validate(embeddings)
+        self.mean_, covariance = centered_covariance(embeddings, eps=self.eps)
+        self.matrix_ = self._compute_matrix(covariance)
+        self._fitted = True
+        return self
+
+    def transform(self, embeddings: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        return (embeddings - self.mean_) @ self.matrix_.T
+
+
+def _symmetric_eig(covariance: np.ndarray) -> tuple:
+    """Eigendecomposition of a symmetric PSD matrix with clipped eigenvalues."""
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    eigenvalues = np.clip(eigenvalues, a_min=1e-12, a_max=None)
+    return eigenvalues, eigenvectors
+
+
+@register_whitening("zca")
+class ZCAWhitening(_MatrixWhitening):
+    """Zero-phase Component Analysis whitening (Eqn. 4, the paper's default)."""
+
+    def _compute_matrix(self, covariance: np.ndarray) -> np.ndarray:
+        eigenvalues, eigenvectors = _symmetric_eig(covariance)
+        inv_sqrt = eigenvectors @ np.diag(eigenvalues ** -0.5) @ eigenvectors.T
+        return inv_sqrt
+
+
+@register_whitening("pca")
+class PCAWhitening(_MatrixWhitening):
+    """PCA whitening: rotate into the eigenbasis and rescale."""
+
+    def _compute_matrix(self, covariance: np.ndarray) -> np.ndarray:
+        eigenvalues, eigenvectors = _symmetric_eig(covariance)
+        return np.diag(eigenvalues ** -0.5) @ eigenvectors.T
+
+
+@register_whitening("cholesky")
+class CholeskyWhitening(_MatrixWhitening):
+    """Cholesky (CD) whitening: Σ = L Lᵀ, Φ = L^{-1}."""
+
+    def _compute_matrix(self, covariance: np.ndarray) -> np.ndarray:
+        lower = np.linalg.cholesky(covariance)
+        return np.linalg.inv(lower)
+
+
+@register_whitening("batchnorm")
+class BatchNormWhitening(_MatrixWhitening):
+    """Per-dimension standardisation (BN); no cross-dimension decorrelation."""
+
+    def _compute_matrix(self, covariance: np.ndarray) -> np.ndarray:
+        variances = np.clip(np.diag(covariance), 1e-12, None)
+        return np.diag(variances ** -0.5)
+
+
+# Short aliases used in the paper's tables.
+from .base import _REGISTRY  # noqa: E402  (registry augmentation)
+
+_REGISTRY["cd"] = CholeskyWhitening
+_REGISTRY["bn"] = BatchNormWhitening

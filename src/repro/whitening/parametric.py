@@ -1,0 +1,46 @@
+"""Parametric Whitening (PW) — the UniSRec-style learnable transform.
+
+UniSRec [6] replaces the closed-form whitening matrix by a learnable linear
+layer: ``z = (x - b) W`` where both the bias ``b`` and the matrix ``W`` are
+trained jointly with the recommendation loss.  The paper's Sec. V-E shows
+this *parametric* approach does not actually guarantee decorrelated outputs
+and under-performs the non-parametric methods.
+
+Because PW is trainable it lives inside the model graph rather than in the
+pre-processing pipeline, hence it is implemented as an ``nn.Module`` here and
+models accept it as an alternative item-feature adaptor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter, Tensor
+
+
+class ParametricWhitening(Module):
+    """Learnable whitening layer ``z = (x - b) W`` (PW in the paper)."""
+
+    def __init__(self, in_dim: int, out_dim: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        out_dim = out_dim or in_dim
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.bias = Parameter(np.zeros(in_dim), name="pw.bias")
+        self.linear = Linear(in_dim, out_dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.linear(x - self.bias)
+
+    def transform_matrix(self, table: np.ndarray) -> np.ndarray:
+        """Apply the current (learned) transform to a plain numpy table.
+
+        Used by analysis code that wants to inspect how "whitened" the PW
+        output actually is (it typically is not, which is the paper's point).
+        """
+        table = np.asarray(table, dtype=np.float64)
+        return (table - self.bias.data) @ self.linear.weight.data

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately tiny (hundreds of interactions, 16-dim features) so
+that the full suite runs quickly while still exercising every code path the
+benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.splits import leave_one_out_split
+from repro.data.synthetic import dataset_config, generate_dataset
+from repro.models.base import ModelConfig
+from repro.text.features import encode_items
+from repro.training.config import TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small synthetic dataset shared across the whole session."""
+    config = dataset_config(
+        "arts", scale="tiny", seed=3,
+        num_users=160, num_items=90, min_sequence_length=4,
+    )
+    return generate_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return leave_one_out_split(tiny_dataset.interactions)
+
+
+@pytest.fixture(scope="session")
+def tiny_features(tiny_dataset) -> np.ndarray:
+    """Padded (num_items + 1, 16) pre-trained text feature table."""
+    return encode_items(tiny_dataset.items, embedding_dim=16, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_model_config() -> ModelConfig:
+    return ModelConfig(
+        hidden_dim=16, num_layers=1, num_heads=2, dropout=0.1,
+        max_seq_length=12, seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_training_config() -> TrainingConfig:
+    return TrainingConfig(
+        num_epochs=2, batch_size=128, learning_rate=1e-3,
+        max_sequence_length=12, early_stopping_patience=5, seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def anisotropic_embeddings(rng) -> np.ndarray:
+    """A synthetic anisotropic embedding matrix with a known structure."""
+    num_items, dim = 300, 12
+    common = np.ones(dim) / np.sqrt(dim)
+    spectrum = np.array([1.0 / (k + 1) ** 1.2 for k in range(dim)])
+    basis, _ = np.linalg.qr(rng.standard_normal((dim, dim)))
+    codes = rng.standard_normal((num_items, dim))
+    return 3.0 * common[None, :] + (codes * spectrum) @ basis.T

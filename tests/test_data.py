@@ -1,0 +1,331 @@
+"""Tests for the data substrate: interactions, synthetic generation, splits, batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataloader import (
+    SequenceDataLoader,
+    evaluation_batches,
+    make_batch,
+    pad_sequences,
+)
+from repro.data.interactions import Interaction, InteractionTable
+from repro.data.splits import (
+    cold_start_split,
+    leave_one_out_split,
+    training_examples,
+)
+from repro.data.statistics import compute_statistics, dataset_statistics
+from repro.data.synthetic import (
+    available_presets,
+    dataset_config,
+    generate_dataset,
+    load_dataset,
+)
+
+
+def small_table() -> InteractionTable:
+    return InteractionTable(
+        user_sequences={
+            1: [1, 2, 3, 4, 5],
+            2: [2, 3, 4, 5, 6, 7],
+            3: [5, 1, 2, 6, 3],
+        },
+        num_items=7,
+    )
+
+
+class TestInteractionTable:
+    def test_basic_statistics(self):
+        table = small_table()
+        assert table.num_users == 3
+        assert table.num_interactions == 16
+        assert table.average_sequence_length() == pytest.approx(16 / 3)
+
+    def test_item_counts(self):
+        counts = small_table().item_counts()
+        assert counts[0] == 0
+        assert counts[2] == 3
+        assert counts[7] == 1
+
+    def test_active_items(self):
+        table = InteractionTable(user_sequences={1: [1, 3]}, num_items=5)
+        assert table.active_items() == [1, 3]
+
+    def test_from_interactions_orders_by_timestamp(self):
+        interactions = [
+            Interaction(user_id=1, item_id=5, timestamp=3.0),
+            Interaction(user_id=1, item_id=2, timestamp=1.0),
+            Interaction(user_id=1, item_id=9, timestamp=2.0),
+        ]
+        table = InteractionTable.from_interactions(interactions, num_items=10)
+        assert table.user_sequences[1] == [2, 9, 5]
+
+    def test_k_core_filter_removes_rare_items_and_short_users(self):
+        table = InteractionTable(
+            user_sequences={
+                1: [1, 2, 1, 2, 1],
+                2: [2, 1, 2, 1, 2],
+                3: [3, 1, 2, 1, 2],   # item 3 appears once
+                4: [4, 4],            # too short after filtering
+            },
+            num_items=4,
+        )
+        filtered = table.k_core_filter(k=5)
+        for sequence in filtered.user_sequences.values():
+            assert 3 not in sequence
+            assert 4 not in sequence
+            assert len(sequence) >= 5
+        assert 4 not in filtered.user_sequences
+
+    def test_k_core_filter_idempotent(self):
+        table = small_table().k_core_filter(k=2)
+        again = table.k_core_filter(k=2)
+        assert table.user_sequences == again.user_sequences
+
+    def test_remove_items(self):
+        table = small_table()
+        reduced = table.remove_items({2, 3}, min_length=3)
+        for sequence in reduced.user_sequences.values():
+            assert 2 not in sequence and 3 not in sequence
+            assert len(sequence) >= 3
+
+    def test_subset_users(self):
+        subset = small_table().subset_users([1, 3])
+        assert set(subset.user_sequences) == {1, 3}
+
+    def test_average_item_actions_empty(self):
+        empty = InteractionTable(user_sequences={}, num_items=3)
+        assert empty.average_item_actions() == 0.0
+        assert empty.average_sequence_length() == 0.0
+
+
+class TestSyntheticGeneration:
+    def test_available_presets(self):
+        assert set(available_presets()) == {"arts", "toys", "tools", "food"}
+
+    def test_dataset_config_validation(self):
+        with pytest.raises(ValueError):
+            dataset_config("movies")
+        with pytest.raises(ValueError):
+            dataset_config("arts", scale="huge")
+        with pytest.raises(AttributeError):
+            dataset_config("arts", scale="tiny", not_a_field=3)
+
+    def test_generate_dataset_determinism(self):
+        config = dataset_config("arts", scale="tiny", seed=11,
+                                num_users=120, num_items=80)
+        a = generate_dataset(config)
+        b = generate_dataset(config)
+        assert a.interactions.user_sequences == b.interactions.user_sequences
+
+    def test_generate_dataset_seed_sensitivity(self):
+        a = generate_dataset(dataset_config("arts", scale="tiny", seed=1,
+                                            num_users=120, num_items=80))
+        b = generate_dataset(dataset_config("arts", scale="tiny", seed=2,
+                                            num_users=120, num_items=80))
+        assert a.interactions.user_sequences != b.interactions.user_sequences
+
+    def test_item_ids_in_range(self, tiny_dataset):
+        for sequence in tiny_dataset.interactions.user_sequences.values():
+            for item in sequence:
+                assert 1 <= item <= tiny_dataset.num_items
+
+    def test_sequence_lengths_respect_minimum(self, tiny_dataset):
+        min_len = tiny_dataset.config.min_sequence_length
+        for sequence in tiny_dataset.interactions.user_sequences.values():
+            assert len(sequence) >= min(min_len, 5)
+
+    def test_item_texts_align_with_catalogue(self, tiny_dataset):
+        texts = tiny_dataset.item_texts()
+        assert len(texts) == len(tiny_dataset.items)
+
+    def test_load_dataset_shortcut(self):
+        dataset = load_dataset("food", scale="tiny", seed=5,
+                               num_users=100, num_items=70)
+        assert dataset.name == "food"
+        assert dataset.interactions.num_users > 0
+
+    def test_category_of_item_mapping(self, tiny_dataset):
+        assert set(tiny_dataset.category_of_item) >= set(
+            item for seq in tiny_dataset.interactions.user_sequences.values() for item in seq
+        )
+
+    def test_style_preference_shapes_interactions(self):
+        """With strong style preference, users' items share style tokens more
+        often than random item pairs do."""
+        config = dataset_config("arts", scale="tiny", seed=13,
+                                num_users=150, num_items=120, style_strength=5.0)
+        dataset = generate_dataset(config)
+        styles = {record.item_id + 1: set(record.style_tokens) for record in dataset.items}
+
+        within_user, random_pairs = [], []
+        rng = np.random.default_rng(0)
+        items_flat = [i for seq in dataset.interactions.user_sequences.values() for i in seq]
+        for sequence in dataset.interactions.user_sequences.values():
+            for a, b in zip(sequence, sequence[1:]):
+                within_user.append(len(styles[a] & styles[b]) > 0)
+        for _ in range(2000):
+            a, b = rng.choice(items_flat, size=2)
+            random_pairs.append(len(styles[a] & styles[b]) > 0)
+        assert np.mean(within_user) > np.mean(random_pairs)
+
+
+class TestStatistics:
+    def test_compute_statistics(self):
+        stats = compute_statistics(small_table(), name="unit")
+        assert stats.num_users == 3
+        assert stats.num_interactions == 16
+        record = stats.as_dict()
+        assert record["dataset"] == "unit"
+        assert record["#Inter."] == 16
+
+    def test_dataset_statistics(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        assert stats.name == tiny_dataset.name
+        assert stats.num_users == tiny_dataset.interactions.num_users
+        assert stats.avg_sequence_length > 0
+        assert stats.avg_item_actions > 0
+
+
+class TestSplits:
+    def test_leave_one_out_structure(self, tiny_split, tiny_dataset):
+        table = tiny_dataset.interactions
+        assert tiny_split.num_items == table.num_items
+        assert len(tiny_split.test) == len(tiny_split.validation)
+        for case in tiny_split.test:
+            original = table.user_sequences[case.user_id]
+            assert case.target == original[-1]
+            assert case.history == original[:-1]
+        for case in tiny_split.validation:
+            original = table.user_sequences[case.user_id]
+            assert case.target == original[-2]
+            assert case.history == original[:-2]
+
+    def test_leave_one_out_train_excludes_targets(self, tiny_split, tiny_dataset):
+        for user, train_sequence in tiny_split.train_sequences.items():
+            original = tiny_dataset.interactions.user_sequences[user]
+            assert train_sequence == original[:-2]
+
+    def test_leave_one_out_skips_short_sequences(self):
+        table = InteractionTable(user_sequences={1: [1, 2], 2: [1, 2, 3, 4]}, num_items=4)
+        split = leave_one_out_split(table, min_sequence_length=3)
+        assert 1 not in split.train_sequences
+        assert 2 in split.train_sequences
+
+    def test_cold_start_targets_are_cold(self, tiny_dataset):
+        split = cold_start_split(tiny_dataset.interactions, cold_fraction=0.2, seed=0)
+        assert split.cold_items
+        for case in split.test:
+            assert case.target in split.cold_items
+            assert all(item not in split.cold_items for item in case.history)
+        train_items = split.train_items()
+        assert not (train_items & split.cold_items)
+
+    def test_cold_start_fraction_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            cold_start_split(tiny_dataset.interactions, cold_fraction=0.0)
+        with pytest.raises(ValueError):
+            cold_start_split(tiny_dataset.interactions, cold_fraction=1.0)
+
+    def test_cold_start_deterministic(self, tiny_dataset):
+        a = cold_start_split(tiny_dataset.interactions, seed=3)
+        b = cold_start_split(tiny_dataset.interactions, seed=3)
+        assert a.cold_items == b.cold_items
+
+    def test_training_examples_prefix_augmentation(self):
+        table = InteractionTable(user_sequences={1: [1, 2, 3, 4, 5]}, num_items=5)
+        split = leave_one_out_split(table)
+        examples = training_examples(split, max_sequence_length=10, augment_prefixes=True)
+        # Train sequence is [1, 2, 3]; prefixes produce 2 examples.
+        assert len(examples) == 2
+        assert examples[0] == (1, [1], 2)
+        assert examples[1] == (1, [1, 2], 3)
+
+    def test_training_examples_without_augmentation(self):
+        table = InteractionTable(user_sequences={1: [1, 2, 3, 4, 5]}, num_items=5)
+        split = leave_one_out_split(table)
+        examples = training_examples(split, augment_prefixes=False)
+        assert len(examples) == 1
+        assert examples[0] == (1, [1, 2], 3)
+
+    def test_training_examples_respect_max_length(self):
+        table = InteractionTable(user_sequences={1: list(range(1, 12))}, num_items=12)
+        split = leave_one_out_split(table)
+        examples = training_examples(split, max_sequence_length=4)
+        assert all(len(history) <= 4 for _, history, _ in examples)
+
+
+class TestDataloader:
+    def test_pad_sequences_left_padding(self):
+        item_ids, lengths = pad_sequences([[1, 2], [3, 4, 5, 6]], max_length=4)
+        np.testing.assert_array_equal(item_ids[0], [0, 0, 1, 2])
+        np.testing.assert_array_equal(item_ids[1], [3, 4, 5, 6])
+        np.testing.assert_array_equal(lengths, [2, 4])
+
+    def test_pad_sequences_truncates_from_left(self):
+        item_ids, lengths = pad_sequences([[1, 2, 3, 4, 5]], max_length=3)
+        np.testing.assert_array_equal(item_ids[0], [3, 4, 5])
+        assert lengths[0] == 3
+
+    def test_make_batch(self):
+        batch = make_batch([(7, [1, 2], 3), (8, [4], 5)], max_length=3)
+        assert len(batch) == 2
+        np.testing.assert_array_equal(batch.targets, [3, 5])
+        np.testing.assert_array_equal(batch.users, [7, 8])
+
+    def test_dataloader_covers_all_examples(self):
+        examples = [(u, [1, 2], 3) for u in range(10)]
+        loader = SequenceDataLoader(examples, batch_size=3, max_length=4, seed=0)
+        seen = sum(len(batch) for batch in loader)
+        assert seen == 10
+        assert len(loader) == 4
+
+    def test_dataloader_drop_last(self):
+        examples = [(u, [1], 2) for u in range(10)]
+        loader = SequenceDataLoader(examples, batch_size=3, max_length=4,
+                                    drop_last=True, seed=0)
+        assert len(loader) == 3
+        assert sum(len(batch) for batch in loader) == 9
+
+    def test_dataloader_shuffles(self):
+        examples = [(u, [u + 1], u + 1) for u in range(50)]
+        loader = SequenceDataLoader(examples, batch_size=50, max_length=2,
+                                    shuffle=True, seed=1)
+        batch = next(iter(loader))
+        assert not np.array_equal(batch.users, np.arange(50))
+
+    def test_dataloader_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            SequenceDataLoader([], batch_size=0)
+
+    def test_evaluation_batches(self, tiny_split):
+        total = 0
+        for batch in evaluation_batches(tiny_split.test, batch_size=32, max_length=10):
+            assert batch.item_ids.shape[1] == 10
+            total += len(batch)
+        assert total == len(tiny_split.test)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lengths=st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=8),
+    max_length=st.integers(min_value=1, max_value=10),
+)
+def test_property_padding_preserves_suffix(lengths, max_length):
+    """Left padding always preserves the most recent items of each history."""
+    histories = [list(range(1, n + 1)) for n in lengths]
+    item_ids, out_lengths = pad_sequences(histories, max_length)
+    for row, history in enumerate(histories):
+        expected = history[-max_length:]
+        assert out_lengths[row] == len(expected)
+        if expected:
+            np.testing.assert_array_equal(item_ids[row, max_length - len(expected):], expected)
+        np.testing.assert_array_equal(
+            item_ids[row, : max_length - len(expected)],
+            np.zeros(max_length - len(expected), dtype=np.int64),
+        )

@@ -1,0 +1,326 @@
+"""Tests for the whitening package: all transforms, group whitening, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor
+from repro.whitening import (
+    BatchNormWhitening,
+    CholeskyWhitening,
+    FlowGaussianization,
+    GroupWhitening,
+    IdentityWhitening,
+    PCAWhitening,
+    ParametricWhitening,
+    ZCAWhitening,
+    available_whitenings,
+    centered_covariance,
+    get_whitening,
+)
+from repro.whitening.group import group_slices, resolve_group_count, whiten_with_groups
+from repro.whitening.metrics import (
+    cosine_similarity_cdf,
+    covariance_condition_number,
+    covariance_off_diagonal_ratio,
+    isotropy_score,
+    mean_pairwise_cosine,
+    pairwise_cosine_similarities,
+    singular_values,
+    spectral_decay_ratio,
+    whitening_error,
+)
+
+
+def covariance_of(matrix: np.ndarray) -> np.ndarray:
+    centered = matrix - matrix.mean(axis=0)
+    return centered.T @ centered / matrix.shape[0]
+
+
+class TestRegistry:
+    def test_available_whitenings_contains_paper_methods(self):
+        names = available_whitenings()
+        for name in ("zca", "pca", "cholesky", "cd", "batchnorm", "bn", "bert_flow", "raw"):
+            assert name in names
+
+    def test_get_whitening_unknown(self):
+        with pytest.raises(KeyError):
+            get_whitening("not-a-method")
+
+    def test_get_whitening_builds_instances(self):
+        assert isinstance(get_whitening("zca"), ZCAWhitening)
+        assert isinstance(get_whitening("cd"), CholeskyWhitening)
+        assert isinstance(get_whitening("bn"), BatchNormWhitening)
+        assert isinstance(get_whitening("raw"), IdentityWhitening)
+
+
+class TestFullWhitenings:
+    @pytest.mark.parametrize("cls", [ZCAWhitening, PCAWhitening, CholeskyWhitening])
+    def test_output_covariance_is_identity(self, cls, anisotropic_embeddings):
+        transform = cls(eps=1e-8)
+        whitened = transform.fit_transform(anisotropic_embeddings)
+        covariance = covariance_of(whitened)
+        np.testing.assert_allclose(covariance, np.eye(covariance.shape[0]), atol=1e-4)
+
+    @pytest.mark.parametrize("cls", [ZCAWhitening, PCAWhitening, CholeskyWhitening,
+                                     BatchNormWhitening])
+    def test_output_is_centred(self, cls, anisotropic_embeddings):
+        whitened = cls().fit_transform(anisotropic_embeddings)
+        np.testing.assert_allclose(whitened.mean(axis=0),
+                                   np.zeros(whitened.shape[1]), atol=1e-8)
+
+    def test_batchnorm_standardises_but_keeps_correlations(self, anisotropic_embeddings):
+        whitened = BatchNormWhitening(eps=1e-8).fit_transform(anisotropic_embeddings)
+        covariance = covariance_of(whitened)
+        np.testing.assert_allclose(np.diag(covariance),
+                                   np.ones(covariance.shape[0]), atol=1e-3)
+        # Correlation between axes remains (BN does not decorrelate).
+        off_diag = covariance[~np.eye(covariance.shape[0], dtype=bool)]
+        assert np.abs(off_diag).max() > 0.05
+
+    def test_zca_reduces_mean_cosine(self, anisotropic_embeddings):
+        before = mean_pairwise_cosine(anisotropic_embeddings)
+        after = mean_pairwise_cosine(ZCAWhitening().fit_transform(anisotropic_embeddings))
+        assert before > 0.5
+        assert after < 0.2
+
+    def test_zca_is_symmetric_rotation_of_pca(self, anisotropic_embeddings):
+        """ZCA and PCA whitened data differ only by an orthogonal rotation."""
+        zca = ZCAWhitening(eps=1e-8).fit_transform(anisotropic_embeddings)
+        pca = PCAWhitening(eps=1e-8).fit_transform(anisotropic_embeddings)
+        gram_zca = zca @ zca.T
+        gram_pca = pca @ pca.T
+        np.testing.assert_allclose(gram_zca, gram_pca, atol=1e-6)
+
+    def test_transform_requires_fit(self, anisotropic_embeddings):
+        with pytest.raises(RuntimeError):
+            ZCAWhitening().transform(anisotropic_embeddings)
+
+    def test_validation_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ZCAWhitening().fit(np.zeros(5))
+        with pytest.raises(ValueError):
+            ZCAWhitening().fit(np.zeros((1, 5)))
+
+    def test_identity_whitening_is_noop(self, anisotropic_embeddings):
+        out = IdentityWhitening().fit_transform(anisotropic_embeddings)
+        np.testing.assert_allclose(out, anisotropic_embeddings)
+
+    def test_transform_applies_to_new_data(self, anisotropic_embeddings):
+        """A transform fitted on one set can whiten new points consistently."""
+        transform = ZCAWhitening().fit(anisotropic_embeddings[:200])
+        new = transform.transform(anisotropic_embeddings[200:])
+        assert new.shape == (anisotropic_embeddings.shape[0] - 200,
+                             anisotropic_embeddings.shape[1])
+
+    def test_centered_covariance_helper(self, anisotropic_embeddings):
+        mean, covariance = centered_covariance(anisotropic_embeddings, eps=0.1)
+        assert mean.shape == (anisotropic_embeddings.shape[1],)
+        assert covariance.shape[0] == covariance.shape[1]
+        # eps is added on the diagonal
+        _, cov_no_eps = centered_covariance(anisotropic_embeddings, eps=0.0)
+        np.testing.assert_allclose(np.diag(covariance) - np.diag(cov_no_eps),
+                                   np.full(covariance.shape[0], 0.1), atol=1e-10)
+
+
+class TestGroupWhitening:
+    def test_group_slices_cover_all_dims(self):
+        slices = group_slices(10, 3)
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(10))
+
+    def test_group_slices_validation(self):
+        with pytest.raises(ValueError):
+            group_slices(4, 0)
+        with pytest.raises(ValueError):
+            group_slices(4, 5)
+
+    def test_resolve_group_count(self):
+        assert resolve_group_count(None, 8) is None
+        assert resolve_group_count("raw", 8) is None
+        assert resolve_group_count("4", 8) == 4
+        assert resolve_group_count(100, 8) == 8
+        with pytest.raises(ValueError):
+            resolve_group_count(0, 8)
+
+    def test_g1_equals_full_zca(self, anisotropic_embeddings):
+        full = ZCAWhitening(eps=1e-6).fit_transform(anisotropic_embeddings)
+        grouped = GroupWhitening(num_groups=1, eps=1e-6).fit_transform(anisotropic_embeddings)
+        np.testing.assert_allclose(full, grouped, atol=1e-8)
+
+    def test_raw_group_is_identity(self, anisotropic_embeddings):
+        out = GroupWhitening(num_groups="raw").fit_transform(anisotropic_embeddings)
+        np.testing.assert_allclose(out, anisotropic_embeddings)
+
+    def test_group_whitening_decorrelates_within_groups_only(self, anisotropic_embeddings):
+        num_groups = 3
+        whitened = GroupWhitening(num_groups=num_groups, eps=1e-8).fit_transform(
+            anisotropic_embeddings
+        )
+        covariance = covariance_of(whitened)
+        dim = covariance.shape[0]
+        for group_slice in group_slices(dim, num_groups):
+            block = covariance[group_slice, group_slice]
+            np.testing.assert_allclose(block, np.eye(block.shape[0]), atol=1e-3)
+        # Cross-group correlation is preserved (not an identity matrix overall).
+        assert np.abs(covariance - np.eye(dim)).max() > 0.05
+
+    def test_increasing_groups_preserves_more_similarity(self, anisotropic_embeddings):
+        """Fig. 4 behaviour: weaker whitening keeps item pairs more similar."""
+        cosines = {}
+        for groups in (1, 3, 6):
+            transformed = whiten_with_groups(anisotropic_embeddings, groups)
+            cosines[groups] = mean_pairwise_cosine(np.abs(transformed) * 0 + transformed)
+        raw_cos = mean_pairwise_cosine(anisotropic_embeddings)
+        assert cosines[1] < raw_cos
+        assert cosines[1] <= cosines[6] + 0.05
+
+    def test_group_count_capped_at_dim(self, anisotropic_embeddings):
+        dim = anisotropic_embeddings.shape[1]
+        transform = GroupWhitening(num_groups=dim * 10).fit(anisotropic_embeddings)
+        assert transform.num_groups == dim
+
+
+class TestFlowWhitening:
+    def test_marginals_are_gaussian_like(self, anisotropic_embeddings):
+        flow = FlowGaussianization(seed=0)
+        # The rotation mixes dimensions, so check the pre-rotation marginals by
+        # applying the fitted marginal step directly.
+        flow.fit(anisotropic_embeddings)
+        gaussianized = flow._marginal_gaussianize(anisotropic_embeddings)
+        assert abs(gaussianized.mean()) < 0.1
+        assert abs(gaussianized.std() - 1.0) < 0.2
+
+    def test_output_shape_and_determinism(self, anisotropic_embeddings):
+        a = FlowGaussianization(seed=0).fit_transform(anisotropic_embeddings)
+        b = FlowGaussianization(seed=0).fit_transform(anisotropic_embeddings)
+        assert a.shape == anisotropic_embeddings.shape
+        np.testing.assert_allclose(a, b)
+
+    def test_reduces_anisotropy(self, anisotropic_embeddings):
+        transformed = FlowGaussianization(seed=0).fit_transform(anisotropic_embeddings)
+        assert mean_pairwise_cosine(transformed) < mean_pairwise_cosine(anisotropic_embeddings)
+
+
+class TestParametricWhitening:
+    def test_forward_shape(self):
+        pw = ParametricWhitening(8, 6, rng=np.random.default_rng(0))
+        out = pw(Tensor(np.random.default_rng(0).standard_normal((10, 8))))
+        assert out.shape == (10, 6)
+
+    def test_is_trainable(self):
+        pw = ParametricWhitening(8, rng=np.random.default_rng(0))
+        assert pw.num_parameters() == 8 + 8 * 8
+
+    def test_transform_matrix_matches_forward(self):
+        pw = ParametricWhitening(5, rng=np.random.default_rng(0))
+        table = np.random.default_rng(1).standard_normal((7, 5))
+        forward = pw(Tensor(table)).data
+        np.testing.assert_allclose(pw.transform_matrix(table), forward, atol=1e-10)
+
+    def test_does_not_guarantee_whitened_output(self, anisotropic_embeddings):
+        """The paper's critique of PW: a random linear map does not decorrelate."""
+        pw = ParametricWhitening(anisotropic_embeddings.shape[1],
+                                 rng=np.random.default_rng(0))
+        transformed = pw.transform_matrix(anisotropic_embeddings)
+        assert whitening_error(transformed) > 0.5
+
+
+class TestMetrics:
+    def test_mean_pairwise_cosine_identical_vectors(self):
+        matrix = np.tile(np.array([1.0, 2.0, 3.0]), (10, 1))
+        assert mean_pairwise_cosine(matrix) == pytest.approx(1.0)
+
+    def test_mean_pairwise_cosine_orthogonal(self):
+        matrix = np.eye(4)
+        assert mean_pairwise_cosine(matrix) == pytest.approx(0.0, abs=1e-12)
+
+    def test_pairwise_cosine_sampling_path(self, anisotropic_embeddings):
+        exact = mean_pairwise_cosine(anisotropic_embeddings, max_pairs=None)
+        sampled = mean_pairwise_cosine(anisotropic_embeddings, max_pairs=5000, seed=0)
+        assert abs(exact - sampled) < 0.05
+
+    def test_pairwise_requires_two_items(self):
+        with pytest.raises(ValueError):
+            pairwise_cosine_similarities(np.zeros((1, 4)))
+
+    def test_cosine_similarity_cdf_monotone(self, anisotropic_embeddings):
+        grid, cdf = cosine_similarity_cdf(anisotropic_embeddings)
+        assert cdf[0] == pytest.approx(0.0, abs=1e-6)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-6)
+        assert (np.diff(cdf) >= -1e-12).all()
+
+    def test_singular_values_sorted_descending(self, anisotropic_embeddings):
+        values = singular_values(anisotropic_embeddings)
+        assert (np.diff(values) <= 1e-9).all()
+
+    def test_singular_values_normalized(self, anisotropic_embeddings):
+        values = singular_values(anisotropic_embeddings, normalize=True)
+        assert values[0] == pytest.approx(1.0)
+
+    def test_spectral_decay_ratio_bounds(self, anisotropic_embeddings):
+        ratio = spectral_decay_ratio(anisotropic_embeddings, top_k=1)
+        assert 0.0 < ratio <= 1.0
+
+    def test_condition_number_of_whitened_data_is_small(self, anisotropic_embeddings):
+        raw_condition = covariance_condition_number(anisotropic_embeddings)
+        whitened = ZCAWhitening(eps=1e-8).fit_transform(anisotropic_embeddings)
+        white_condition = covariance_condition_number(whitened)
+        assert raw_condition > 10.0
+        assert white_condition < 1.5
+
+    def test_condition_number_identity(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((5000, 4))
+        assert covariance_condition_number(data) < 1.3
+
+    def test_isotropy_score_range(self, anisotropic_embeddings):
+        raw = isotropy_score(anisotropic_embeddings)
+        whitened = isotropy_score(ZCAWhitening(eps=1e-8).fit_transform(anisotropic_embeddings))
+        assert 0.0 <= raw < whitened <= 1.0 + 1e-9
+
+    def test_off_diagonal_ratio(self, anisotropic_embeddings):
+        raw = covariance_off_diagonal_ratio(anisotropic_embeddings)
+        whitened = covariance_off_diagonal_ratio(
+            ZCAWhitening(eps=1e-8).fit_transform(anisotropic_embeddings)
+        )
+        assert whitened < raw
+
+    def test_whitening_error(self, anisotropic_embeddings):
+        whitened = ZCAWhitening(eps=1e-8).fit_transform(anisotropic_embeddings)
+        assert whitening_error(whitened) < 0.05
+        assert whitening_error(anisotropic_embeddings) > 0.5
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_items=st.integers(min_value=30, max_value=120),
+    dim=st.integers(min_value=3, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_zca_always_whitens(num_items, dim, seed):
+    """For any full-rank data, ZCA output has ~identity covariance."""
+    rng = np.random.default_rng(seed)
+    mixing = rng.standard_normal((dim, dim)) + np.eye(dim)
+    data = rng.standard_normal((num_items, dim)) @ mixing + rng.standard_normal(dim) * 3
+    whitened = ZCAWhitening(eps=1e-9).fit_transform(data)
+    covariance = covariance_of(whitened)
+    np.testing.assert_allclose(covariance, np.eye(dim), atol=5e-3)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    dim=st.integers(min_value=4, max_value=16),
+    groups=st.integers(min_value=1, max_value=4),
+)
+def test_property_group_slices_partition(dim, groups):
+    groups = min(groups, dim)
+    slices = group_slices(dim, groups)
+    seen = sorted(index for s in slices for index in range(s.start, s.stop))
+    assert seen == list(range(dim))
+    assert len(slices) == groups

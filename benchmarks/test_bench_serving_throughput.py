@@ -1,0 +1,101 @@
+"""Benchmark: serving-layer throughput — batched top-K vs the evaluation loop.
+
+Unlike the other benchmarks this does not regenerate a paper artefact; it
+guards the serving fast path that Sec. IV-E makes possible (whitening — and
+therefore the whole item matrix — is pre-computable).  It reports
+sequences/second for the batched ``Recommender.topk`` and asserts that it is
+at least 5x faster than scoring the same histories one at a time through the
+evaluation loop, while returning exactly the same rankings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.data import leave_one_out_split, load_dataset
+from repro.models import ModelConfig, build_model
+from repro.serving import (
+    EmbeddingStore,
+    Recommender,
+    full_sort_topk,
+    measure_throughput,
+    per_sequence_topk,
+)
+from repro.text import encode_items
+
+K = 10
+
+
+def run_serving_throughput(scale: str = "bench") -> dict:
+    dataset_scale = "small" if scale == "full" else "tiny"
+    num_sequences = 512 if scale == "full" else 192
+
+    dataset = load_dataset("arts", scale=dataset_scale, seed=3)
+    split = leave_one_out_split(dataset.interactions)
+    features = encode_items(dataset.items, embedding_dim=32, seed=3)
+    config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
+                         dropout=0.1, max_seq_length=20, seed=0)
+    model = build_model("whitenrec", dataset.num_items,
+                        feature_table=features, config=config)
+
+    histories = [case.history for case in split.test[:num_sequences]]
+    recommender = Recommender(model, store=EmbeddingStore(features),
+                              train_sequences=split.train_sequences)
+
+    # Correctness first: the argpartition fast path must return exactly the
+    # brute-force full-sort top-K of its own score matrix.
+    batched = recommender.topk(histories, k=K, exclude_seen=False)
+    scores, _ = recommender.score(histories, exclude_seen=False)
+    reference_items, _ = full_sort_topk(scores, K)
+    full_sort_identical = bool(np.array_equal(batched.items, reference_items))
+
+    # And the float64 batched path must rank exactly like the per-sequence
+    # evaluation loop it replaces.
+    loop_items = per_sequence_topk(model, histories, k=K)
+    exact = Recommender(model, store=EmbeddingStore(features), dtype=np.float64)
+    exact_items = exact.topk(histories, k=K, exclude_seen=False).items
+    agreement = float(np.mean([
+        np.array_equal(exact_items[row], loop_items[row])
+        for row in range(len(histories))
+    ]))
+
+    # Throughput: batched single-matmul fast path vs the evaluation loop.
+    report = measure_throughput(
+        lambda: recommender.topk(histories, k=K, exclude_seen=False),
+        num_sequences=len(histories), repeats=3, warmup=1,
+    )
+    start = time.perf_counter()
+    per_sequence_topk(model, histories, k=K)
+    loop_seconds = time.perf_counter() - start
+    loop_rate = len(histories) / loop_seconds
+    speedup = report.sequences_per_second / loop_rate
+
+    return {
+        "num_sequences": len(histories),
+        "num_items": dataset.num_items,
+        "batched_sequences_per_second": report.sequences_per_second,
+        "loop_sequences_per_second": loop_rate,
+        "speedup": speedup,
+        "full_sort_identical": full_sort_identical,
+        "loop_agreement": agreement,
+    }
+
+
+def test_serving_throughput(benchmark, scale):
+    result = run_once(benchmark, run_serving_throughput, scale=scale)
+    print(
+        f"\nserving throughput ({result['num_sequences']} sequences, "
+        f"{result['num_items']} items): "
+        f"batched {result['batched_sequences_per_second']:,.0f} seq/s vs "
+        f"loop {result['loop_sequences_per_second']:,.0f} seq/s "
+        f"-> {result['speedup']:.1f}x"
+    )
+    assert result["full_sort_identical"], "argpartition top-K diverged from full sort"
+    assert result["loop_agreement"] == 1.0, "batched ranking diverged from eval loop"
+    assert result["speedup"] >= 5.0, (
+        f"batched serving only {result['speedup']:.1f}x faster than the "
+        f"evaluation loop (expected >= 5x)"
+    )

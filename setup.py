@@ -1,4 +1,31 @@
-"""Setup shim for environments without the `wheel` package (offline installs)."""
-from setuptools import setup
+"""Packaging for the WhitenRec reproduction (src/ layout).
 
-setup()
+``pip install -e .`` makes ``import repro`` work without exporting
+``PYTHONPATH=src`` and installs the ``repro`` console script.  Kept as a
+plain ``setup.py`` (no ``pyproject.toml`` build isolation) so it also works
+in offline environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-whitenrec",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Are ID Embeddings Necessary? Whitening Pre-trained "
+        "Text Embeddings for Effective Sequential Recommendation' (ICDE 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+)

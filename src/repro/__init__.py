@@ -11,17 +11,21 @@ Public surface:
 * :mod:`repro.training`   — trainer, early stopping, Recall@K / NDCG@K evaluation
 * :mod:`repro.analysis`   — anisotropy, alignment/uniformity, conditioning, t-SNE
 * :mod:`repro.experiments`— one runner per paper table/figure
+* :mod:`repro.serving`    — batched, cache-backed top-K recommendation serving
 """
 
-from . import analysis, data, experiments, models, nn, text, training, whitening
+from . import analysis, data, experiments, models, nn, serving, text, training, whitening
 from .data import load_dataset
 from .models import ModelConfig, WhitenRec, WhitenRecPlus, build_model
+from .serving import EmbeddingStore, Recommender
 from .training import Trainer, TrainingConfig, evaluate_model
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "EmbeddingStore",
     "ModelConfig",
+    "Recommender",
     "Trainer",
     "TrainingConfig",
     "WhitenRec",
@@ -34,6 +38,7 @@ __all__ = [
     "load_dataset",
     "models",
     "nn",
+    "serving",
     "text",
     "training",
     "whitening",

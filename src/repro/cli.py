@@ -17,6 +17,11 @@ Show the statistics of a synthetic dataset (Table II row)::
 Inspect the anisotropy of the pre-trained text embeddings (Fig. 2 summary)::
 
     python -m repro anisotropy arts
+
+Train (or load) a model and serve batched top-K recommendations::
+
+    python -m repro serve arts --epochs 2 --k 10 --save-checkpoint runs/arts.npz
+    python -m repro serve arts --checkpoint runs/arts.npz
 """
 
 from __future__ import annotations
@@ -63,6 +68,29 @@ def _build_parser() -> argparse.ArgumentParser:
     aniso_parser.add_argument("dataset", choices=available_presets())
     aniso_parser.add_argument("--dim", type=int, default=32)
     aniso_parser.add_argument("--seed", type=int, default=7)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="train/load a model and serve batched top-K recommendations"
+    )
+    serve_parser.add_argument("dataset", choices=available_presets())
+    serve_parser.add_argument("--scale", default="tiny",
+                              choices=["tiny", "small", "paper"])
+    serve_parser.add_argument("--model", default="whitenrec",
+                              help="model alias (see repro.models.available_models)")
+    serve_parser.add_argument("--epochs", type=int, default=2,
+                              help="training epochs when no checkpoint is loaded")
+    serve_parser.add_argument("--k", type=int, default=10, help="top-K cut-off")
+    serve_parser.add_argument("--requests", type=int, default=8,
+                              help="number of test histories to serve")
+    serve_parser.add_argument("--repeats", type=int, default=3,
+                              help="timed repetitions for the throughput report")
+    serve_parser.add_argument("--dim", type=int, default=32,
+                              help="pre-trained text embedding dimension")
+    serve_parser.add_argument("--seed", type=int, default=7)
+    serve_parser.add_argument("--checkpoint", default=None,
+                              help="load a checkpoint instead of training")
+    serve_parser.add_argument("--save-checkpoint", default=None,
+                              help="save the trained model to this path")
 
     return parser
 
@@ -113,6 +141,62 @@ def _command_anisotropy(dataset_name: str, dim: int, seed: int) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from .data.splits import leave_one_out_split
+    from .experiments.persistence import load_checkpoint, load_model, save_checkpoint
+    from .models import ModelConfig, build_model, display_label
+    from .serving import EmbeddingStore, Recommender, measure_throughput
+    from .training import quick_train
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    split = leave_one_out_split(dataset.interactions)
+    features = encode_items(dataset.items, embedding_dim=args.dim, seed=args.seed)
+
+    if args.checkpoint:
+        checkpoint = load_checkpoint(args.checkpoint)
+        if checkpoint.feature_table is not None:
+            features = checkpoint.feature_table
+        model = load_model(checkpoint, feature_table=features)
+        print(f"loaded {display_label(model.model_name)} from {args.checkpoint}")
+    else:
+        config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
+                             dropout=0.2, max_seq_length=20, seed=args.seed)
+        model = build_model(args.model, dataset.num_items,
+                            feature_table=features, config=config)
+        print(f"training {display_label(args.model)} for {args.epochs} epoch(s) ...")
+        outcome = quick_train(model, split, num_epochs=args.epochs,
+                              max_sequence_length=20, seed=args.seed)
+        print(f"best epoch {outcome.best_epoch}, "
+              f"test NDCG@20 = {outcome.test_metrics.get('ndcg@20', 0.0):.4f}")
+        if args.save_checkpoint:
+            path = save_checkpoint(model, args.save_checkpoint,
+                                   feature_table=features)
+            print(f"saved checkpoint to {path}")
+
+    store = EmbeddingStore(features)
+    recommender = Recommender(model, store=store,
+                              train_sequences=split.train_sequences)
+
+    cases = split.test[: max(1, args.requests)]
+    histories = [case.history for case in cases]
+    result = recommender.topk(histories, k=args.k)
+
+    rows = []
+    for case, items, cold in zip(cases, result.items, result.cold):
+        path = "cold" if cold else "warm"
+        rows.append([case.user_id, path, " ".join(str(int(i)) for i in items)])
+    print(format_table(["user", "path", f"top-{args.k} items"], rows,
+                       title=f"Batched recommendations — {args.dataset} ({args.scale})"))
+
+    report = measure_throughput(lambda: recommender.topk(histories, k=args.k),
+                                num_sequences=len(histories),
+                                repeats=max(1, args.repeats))
+    print(f"throughput: {report.sequences_per_second:,.0f} sequences/second "
+          f"({report.num_sequences} requests x {report.repeats} repeats "
+          f"in {report.seconds:.3f}s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     args = _build_parser().parse_args(argv)
@@ -124,6 +208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_stats(args.dataset, args.scale, args.seed)
     if args.command == "anisotropy":
         return _command_anisotropy(args.dataset, args.dim, args.seed)
+    if args.command == "serve":
+        return _command_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

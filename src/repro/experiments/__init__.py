@@ -1,6 +1,14 @@
 """Experiment runners and registry reproducing every table/figure of the paper."""
 
 from . import runners
+from .persistence import (
+    Checkpoint,
+    load_checkpoint,
+    load_model,
+    load_result,
+    save_checkpoint,
+    save_result,
+)
 from .presets import (
     ExperimentScale,
     ExperimentSetup,
@@ -12,6 +20,7 @@ from .registry import ExperimentSpec, get_experiment, list_experiments, run_expe
 from .runners import ModelRunRecord, train_model
 
 __all__ = [
+    "Checkpoint",
     "ExperimentScale",
     "ExperimentSetup",
     "ExperimentSpec",
@@ -20,8 +29,13 @@ __all__ = [
     "get_experiment",
     "get_scale",
     "list_experiments",
+    "load_checkpoint",
+    "load_model",
+    "load_result",
     "prepare_experiment",
     "run_experiment",
     "runners",
+    "save_checkpoint",
+    "save_result",
     "train_model",
 ]

@@ -9,6 +9,7 @@ re-training anything.
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -73,6 +74,169 @@ def load_result(path: PathLike) -> Dict[str, Any]:
     if "result" not in payload:
         raise ValueError(f"{path!s} is not a repro result file")
     return payload
+
+
+# ---------------------------------------------------------------------- #
+# Model checkpoints
+# ---------------------------------------------------------------------- #
+_STATE_PREFIX = "param/"
+_METADATA_KEY = "__metadata__"
+_FEATURES_KEY = "__feature_table__"
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """A loaded model checkpoint.
+
+    Attributes
+    ----------
+    state:
+        Parameter name → array mapping accepted by
+        :meth:`repro.nn.module.Module.load_state_dict`.
+    metadata:
+        Model name, catalogue size, :class:`~repro.models.base.ModelConfig`
+        fields and any extra constructor kwargs recorded at save time.
+    feature_table:
+        The padded pre-trained text feature table the model was built from
+        (None if it was not saved).
+    """
+
+    state: Dict[str, np.ndarray]
+    metadata: Dict[str, Any]
+    feature_table: Optional[np.ndarray] = None
+
+
+#: constructor parameters that are supplied by :func:`load_model`, not kwargs
+_NON_BUILD_PARAMS = {"self", "num_items", "feature_table", "config", "train_sequences"}
+#: constructor parameter → model attribute, where the names differ
+_BUILD_ATTR_ALIASES = {"projection": "projection_kind"}
+
+
+def _model_build_kwargs(model) -> Dict[str, Any]:
+    """Introspect the constructor kwargs needed to rebuild ``model``.
+
+    Walks the model's ``__init__`` signature and records every scalar
+    parameter the instance stores under the same name (or a known alias), so
+    checkpoints capture e.g. WhitenRec's ``num_groups`` / ``whitening_method``
+    without the caller having to repeat them to ``save_checkpoint``.  Only
+    JSON-primitive values are kept: anything else (sub-modules, arrays) is
+    assumed to be derived state that the constructor recreates.
+    """
+    kwargs: Dict[str, Any] = {}
+    try:
+        parameters = inspect.signature(type(model).__init__).parameters
+    except (TypeError, ValueError):  # extension types without a signature
+        return kwargs
+    missing = object()
+    for name, parameter in parameters.items():
+        if name in _NON_BUILD_PARAMS or parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD
+        ):
+            continue
+        value = getattr(model, _BUILD_ATTR_ALIASES.get(name, name), missing)
+        if isinstance(value, (str, bool, int, float)) or value is None:
+            kwargs[name] = value
+    return kwargs
+
+
+def save_checkpoint(model, path: PathLike,
+                    feature_table: Optional[np.ndarray] = None,
+                    build_kwargs: Optional[Dict[str, Any]] = None,
+                    extra: Optional[Dict[str, Any]] = None) -> Path:
+    """Save a trained model so a serving process can rebuild it.
+
+    The checkpoint is a single ``.npz`` holding the parameter arrays, a JSON
+    metadata blob (model name, ``num_items``, the ``ModelConfig`` fields and
+    ``build_kwargs`` for :func:`repro.models.build_model`) and, optionally,
+    the feature table — enough for :func:`load_model` (or
+    :meth:`repro.serving.Recommender.from_checkpoint`) to reconstruct the
+    model without access to the original dataset.
+
+    Constructor kwargs (e.g. WhitenRec's ``num_groups`` or
+    ``whitening_method``) are introspected from the model automatically;
+    ``build_kwargs`` entries override the introspected values.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    build = _model_build_kwargs(model)
+    if build_kwargs:
+        build.update(build_kwargs)
+    metadata: Dict[str, Any] = {
+        "model_name": model.model_name,
+        "num_items": int(model.num_items),
+        "config": _sanitize(dataclasses.asdict(model.config)),
+        "build_kwargs": _sanitize(build),
+    }
+    if extra:
+        metadata["extra"] = _sanitize(extra)
+
+    arrays: Dict[str, np.ndarray] = {
+        _STATE_PREFIX + name: values for name, values in model.state_dict().items()
+    }
+    arrays[_METADATA_KEY] = np.asarray(json.dumps(metadata))
+    if feature_table is not None:
+        arrays[_FEATURES_KEY] = np.asarray(feature_table, dtype=np.float64)
+
+    temporary = path.with_suffix(path.suffix + ".tmp")
+    with open(temporary, "wb") as handle:
+        np.savez(handle, **arrays)
+    temporary.replace(path)
+    return path
+
+
+def load_checkpoint(path: PathLike) -> Checkpoint:
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as data:
+        if _METADATA_KEY not in data:
+            raise ValueError(f"{path!s} is not a repro model checkpoint")
+        metadata = json.loads(str(data[_METADATA_KEY][()]))
+        state = {
+            key[len(_STATE_PREFIX):]: np.array(data[key])
+            for key in data.files if key.startswith(_STATE_PREFIX)
+        }
+        feature_table = (
+            np.array(data[_FEATURES_KEY]) if _FEATURES_KEY in data else None
+        )
+    return Checkpoint(state=state, metadata=metadata, feature_table=feature_table)
+
+
+def load_model(path: Union[PathLike, Checkpoint],
+               feature_table: Optional[np.ndarray] = None,
+               train_sequences: Optional[Dict[int, Any]] = None):
+    """Rebuild the model stored in a checkpoint and restore its parameters.
+
+    ``path`` may be an already-loaded :class:`Checkpoint` (so callers that
+    inspected the checkpoint first don't read the file twice).
+    ``feature_table`` overrides the one stored in the checkpoint (text models
+    need one from either source).  Whitened tables are recomputed
+    deterministically from the feature table at construction, so only the
+    trainable parameters travel in the checkpoint.
+    """
+    from ..models import ModelConfig, build_model
+
+    checkpoint = path if isinstance(path, Checkpoint) else load_checkpoint(path)
+    metadata = checkpoint.metadata
+    if feature_table is None:
+        feature_table = checkpoint.feature_table
+    config_fields = {field.name for field in dataclasses.fields(ModelConfig)}
+    config = ModelConfig(**{key: value for key, value in metadata["config"].items()
+                            if key in config_fields})
+    model = build_model(
+        metadata["model_name"], metadata["num_items"],
+        feature_table=feature_table,
+        train_sequences=train_sequences,
+        config=config,
+        **metadata.get("build_kwargs", {}),
+    )
+    model.load_state_dict(checkpoint.state)
+    model.eval()
+    return model
 
 
 def save_all(results: Dict[str, Dict[str, Any]], directory: PathLike) -> Dict[str, Path]:

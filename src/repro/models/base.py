@@ -141,6 +141,79 @@ class SequentialRecommender(nn.Module):
         return scores
 
     # ------------------------------------------------------------------ #
+    # Inference API (used by repro.serving)
+    # ------------------------------------------------------------------ #
+    def inference_item_matrix(self, dtype=None) -> np.ndarray:
+        """Candidate item matrix ``V`` computed in eval mode without autodiff.
+
+        Whitening is pre-computed (Sec. IV-E) and the projection head is
+        frozen at serving time, so this matrix can be computed once and reused
+        for every request.  Returns a ``(num_items + 1, d)`` numpy array,
+        optionally cast to ``dtype`` (e.g. ``np.float32`` for the serving
+        scoring path).
+        """
+        was_training = self.training
+        self.eval()
+        with nn.no_grad():
+            matrix = self.item_representations().numpy()
+        if was_training:
+            self.train()
+        if dtype is not None:
+            matrix = matrix.astype(dtype, copy=False)
+        return matrix
+
+    def encode_sequences(self, item_ids: np.ndarray, lengths: np.ndarray,
+                         item_matrix: Optional[np.ndarray] = None) -> np.ndarray:
+        """Batched inference encoding: numpy in, numpy out, no autodiff graph.
+
+        Parameters
+        ----------
+        item_ids:
+            ``(batch, seq_len)`` left-padded item ids (0 = padding).
+        lengths:
+            True history length per row.
+        item_matrix:
+            Optional pre-computed ``(num_items + 1, d)`` candidate matrix from
+            :meth:`inference_item_matrix`, so repeated calls skip the item
+            encoder.  Must be in the substrate's native float64 precision for
+            the embedding lookup.
+        """
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        batch = SequenceBatch(
+            item_ids=item_ids,
+            lengths=lengths,
+            targets=np.zeros(item_ids.shape[0], dtype=np.int64),
+            users=np.zeros(item_ids.shape[0], dtype=np.int64),
+        )
+        was_training = self.training
+        self.eval()
+        with nn.no_grad():
+            matrix_tensor = None
+            if item_matrix is not None:
+                matrix_tensor = Tensor(np.asarray(item_matrix, dtype=np.float64))
+            users = self.encode_sequence(batch, item_matrix=matrix_tensor).numpy()
+        if was_training:
+            self.train()
+        return users
+
+    def item_scores(self, item_ids: np.ndarray, lengths: np.ndarray,
+                    item_matrix: Optional[np.ndarray] = None,
+                    dtype=np.float32) -> np.ndarray:
+        """Full-catalogue inference scores for padded histories.
+
+        Combines :meth:`encode_sequences` with the single-matmul scoring of
+        :func:`repro.nn.functional.catalogue_scores`; the padding item
+        (column 0) is masked to ``-inf``.
+        """
+        if item_matrix is None:
+            item_matrix = self.inference_item_matrix()
+        users = self.encode_sequences(item_ids, lengths, item_matrix=item_matrix)
+        scores = F.catalogue_scores(users, item_matrix, dtype=dtype)
+        scores[:, 0] = -np.inf
+        return scores
+
+    # ------------------------------------------------------------------ #
     # Analysis hooks
     # ------------------------------------------------------------------ #
     def item_matrix_numpy(self) -> np.ndarray:

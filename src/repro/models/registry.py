@@ -146,12 +146,14 @@ def build_model(name: str, num_items: int,
         return S3Rec(num_items, feature_table, config=config, **kwargs)
     if key == "fdsa":
         return FDSA(num_items, feature_table, config=config, **kwargs)
+    # The *_id aliases pre-fill use_id_embeddings but let an explicit kwarg
+    # win, so checkpoint-introspected kwargs never collide with the alias.
     if key == "unisrec_t":
-        return UniSRec(num_items, feature_table, config=config,
-                       use_id_embeddings=False, **kwargs)
+        kwargs.setdefault("use_id_embeddings", False)
+        return UniSRec(num_items, feature_table, config=config, **kwargs)
     if key == "unisrec_t_id":
-        return UniSRec(num_items, feature_table, config=config,
-                       use_id_embeddings=True, **kwargs)
+        kwargs.setdefault("use_id_embeddings", True)
+        return UniSRec(num_items, feature_table, config=config, **kwargs)
     if key == "vqrec":
         return VQRec(num_items, feature_table, config=config, **kwargs)
     if key == "grcn":
@@ -162,11 +164,11 @@ def build_model(name: str, num_items: int,
     if key == "whitenrec":
         return WhitenRec(num_items, feature_table, config=config, **kwargs)
     if key == "whitenrec_id":
-        return WhitenRec(num_items, feature_table, config=config,
-                         use_id_embeddings=True, **kwargs)
+        kwargs.setdefault("use_id_embeddings", True)
+        return WhitenRec(num_items, feature_table, config=config, **kwargs)
     if key == "whitenrec_plus":
         return WhitenRecPlus(num_items, feature_table, config=config, **kwargs)
     if key == "whitenrec_plus_id":
-        return WhitenRecPlus(num_items, feature_table, config=config,
-                             use_id_embeddings=True, **kwargs)
+        kwargs.setdefault("use_id_embeddings", True)
+        return WhitenRecPlus(num_items, feature_table, config=config, **kwargs)
     raise KeyError(f"unhandled model key {key!r}")

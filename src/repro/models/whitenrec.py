@@ -21,7 +21,7 @@ import numpy as np
 from .. import nn
 from ..nn import functional as F
 from ..nn.tensor import Tensor, concatenate, stack
-from ..whitening import GroupWhitening, get_whitening
+from ..whitening import build_whitening
 from ..whitening.group import GroupSpec
 from ..whitening.parametric import ParametricWhitening
 from .base import ModelConfig, SequentialRecommender
@@ -36,10 +36,7 @@ def _whiten_feature_table(feature_table: np.ndarray, method: str,
     """
     feature_table = np.asarray(feature_table, dtype=np.float64)
     items_only = feature_table[1:]
-    if method in {"zca", "group_zca"} or num_groups not in (1, None):
-        transform = GroupWhitening(num_groups=num_groups, eps=eps)
-    else:
-        transform = get_whitening(method, eps=eps) if method not in {"bert_flow", "bert-flow", "raw", "identity"} else get_whitening(method)
+    transform = build_whitening(method, num_groups, eps)
     whitened_items = transform.fit_transform(items_only)
     output = np.zeros_like(feature_table, dtype=np.float64)
     output[1:] = whitened_items
@@ -80,6 +77,7 @@ class WhitenRec(SequentialRecommender):
         self.feature_dim = feature_table.shape[1]
         self.num_groups = num_groups
         self.whitening_method = whitening_method
+        self.whitening_eps = whitening_eps
 
         whitened = _whiten_feature_table(
             feature_table, whitening_method, num_groups, whitening_eps
@@ -167,6 +165,7 @@ class WhitenRecPlus(SequentialRecommender):
         self.feature_dim = feature_table.shape[1]
         self.ensemble = ensemble
         self.whitening_method = whitening_method
+        self.whitening_eps = whitening_eps
         self.full_groups = full_groups
         self.relaxed_groups = relaxed_groups
         self.use_parametric_whitening = whitening_method == "pw"

@@ -28,7 +28,7 @@ from .layers import (
 )
 from .module import Module, Parameter
 from .optim import Adam, Optimizer, SGD, clip_grad_norm
-from .tensor import Tensor, concatenate, stack, where
+from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, where
 
 __all__ = [
     "Adam",
@@ -57,6 +57,8 @@ __all__ = [
     "concatenate",
     "functional",
     "init",
+    "is_grad_enabled",
+    "no_grad",
     "stack",
     "where",
 ]

@@ -151,6 +151,31 @@ def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     return x / (norm + eps).sqrt()
 
 
+def catalogue_scores(users, item_matrix, dtype=np.float32) -> np.ndarray:
+    """Inference-only full-catalogue scores ``U Vᵀ`` as a plain numpy array.
+
+    This is the serving fast path for the paper's prediction layer (Eqn. 1):
+    both operands are detached from any autodiff graph, cast to ``dtype``
+    (float32 by default, halving the memory traffic of the matmul) and scored
+    with a single BLAS call.  Pass ``dtype=None`` to keep the operands'
+    native precision.
+
+    Parameters
+    ----------
+    users:
+        ``(batch, d)`` user representations — a :class:`Tensor` or ndarray.
+    item_matrix:
+        ``(num_items + 1, d)`` candidate item matrix — a :class:`Tensor` or
+        ndarray.
+    """
+    users_arr = users.data if isinstance(users, Tensor) else np.asarray(users)
+    items_arr = item_matrix.data if isinstance(item_matrix, Tensor) else np.asarray(item_matrix)
+    if dtype is not None:
+        users_arr = users_arr.astype(dtype, copy=False)
+        items_arr = items_arr.astype(dtype, copy=False)
+    return users_arr @ items_arr.T
+
+
 def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
     """Mean squared error."""
     diff = prediction - target

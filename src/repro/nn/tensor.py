@@ -24,6 +24,37 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+#: Global autodiff switch.  When False (inside :class:`no_grad`) no operation
+#: records parents or backward closures, so inference allocates nothing beyond
+#: the output arrays.
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+class no_grad:
+    """Context manager disabling graph recording (the inference fast path).
+
+    Inside the block every operation produces plain value tensors with
+    ``requires_grad=False`` and no backward closure, mirroring
+    ``torch.no_grad()``.  Used by the serving layer so batched scoring does
+    not build (or retain) an autodiff graph.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+        return False
+
 
 def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
     """Coerce ``data`` into a numpy array of the requested dtype."""
@@ -70,8 +101,9 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
 
-    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
-        self.data = _as_array(data)
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = "",
+                 dtype=np.float64):
+        self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._backward = None
@@ -106,7 +138,15 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def astype(self, dtype) -> "Tensor":
+        """Detached dtype cast (no gradient flows through the conversion).
+
+        The serving layer uses this to run float32 scoring against item
+        matrices produced by the float64 training substrate.
+        """
+        return Tensor(self.data.astype(dtype, copy=False), dtype=dtype)
 
     def copy(self) -> "Tensor":
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
@@ -132,8 +172,8 @@ class Tensor:
 
     def _make_child(self, data: np.ndarray, parents: Iterable["Tensor"]) -> "Tensor":
         parents = tuple(parents)
-        requires_grad = any(p.requires_grad for p in parents)
-        child = Tensor(data, requires_grad=requires_grad)
+        requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        child = Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
         if requires_grad:
             child._prev = parents
         return child
@@ -367,14 +407,16 @@ class Tensor:
         """Gaussian Error Linear Unit (tanh approximation)."""
         x = self.data
         c = np.sqrt(2.0 / np.pi)
-        inner = c * (x + 0.044715 * x ** 3)
+        # x * x * x instead of x ** 3: np.power with a float64 base goes
+        # through pow() and dominates the transformer forward pass otherwise.
+        inner = c * (x + 0.044715 * (x * x * x))
         t = np.tanh(inner)
         value = 0.5 * x * (1.0 + t)
         out = self._make_child(value, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            dinner = c * (1.0 + 3 * 0.044715 * x ** 2)
-            dt = (1.0 - t ** 2) * dinner
+            dinner = c * (1.0 + 3 * 0.044715 * (x * x))
+            dt = (1.0 - t * t) * dinner
             dvalue = 0.5 * (1.0 + t) + 0.5 * x * dt
             self._accumulate(grad * dvalue)
 
@@ -510,8 +552,8 @@ def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
     tensors = [Tensor._ensure_tensor(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires_grad = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires_grad)
+    requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
     if not requires_grad:
         return out
     out._prev = tuple(tensors)
@@ -532,8 +574,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
     tensors = [Tensor._ensure_tensor(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
-    requires_grad = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires_grad)
+    requires_grad = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
     if not requires_grad:
         return out
     out._prev = tuple(tensors)
@@ -553,8 +595,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     b = Tensor._ensure_tensor(b)
     condition = np.asarray(condition, dtype=bool)
     data = np.where(condition, a.data, b.data)
-    requires_grad = a.requires_grad or b.requires_grad
-    out = Tensor(data, requires_grad=requires_grad)
+    requires_grad = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
+    out = Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
     if not requires_grad:
         return out
     out._prev = (a, b)

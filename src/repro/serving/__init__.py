@@ -1,0 +1,29 @@
+"""Batched recommendation serving on top of trained models.
+
+This package turns a trained :class:`repro.models.base.SequentialRecommender`
+into a cache-backed top-K service:
+
+* :class:`EmbeddingStore` — fits each whitening specification exactly once
+  and memoises the resulting whitened item tables (Sec. IV-E: whitening is a
+  pre-computable pre-processing step);
+* :class:`Recommender`   — vectorised ``topk(user_sequences, k)``: one
+  matmul scores a whole batch against the full catalogue, ``argpartition``
+  extracts the top K, seen items are masked, and histories the sequence
+  encoder cannot use fall back to whitened-text content scoring;
+* :mod:`repro.serving.throughput` — sequences/second measurement used by the
+  ``repro serve`` CLI and the serving micro-benchmark.
+"""
+
+from .recommender import Recommender, TopKResult, full_sort_topk
+from .store import EmbeddingStore
+from .throughput import ThroughputReport, measure_throughput, per_sequence_topk
+
+__all__ = [
+    "EmbeddingStore",
+    "Recommender",
+    "ThroughputReport",
+    "TopKResult",
+    "full_sort_topk",
+    "measure_throughput",
+    "per_sequence_topk",
+]

@@ -1,0 +1,137 @@
+"""Fit-once cache of whitened item embedding tables.
+
+The paper's Sec. IV-E observes that whitening is a *pre-computable*
+pre-processing step: the transform is estimated once from the frozen
+pre-trained text embeddings and never changes afterwards.  At serving time
+this means every whitened variant of the item matrix can be computed once,
+memoised, and shared across requests (and across models that use the same
+whitening specification).
+
+:class:`EmbeddingStore` owns the padded ``(num_items + 1, d_t)`` feature
+table, hands out whitened variants keyed by ``(method, groups, eps)``, and
+keeps the fitted :class:`~repro.whitening.base.WhiteningTransform` objects
+around so that items added to the catalogue *after* fitting can be projected
+into the same whitened space without re-estimating any statistics
+(:meth:`encode_new_items`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..whitening import build_whitening
+from ..whitening.base import WhiteningTransform
+from ..whitening.group import GroupSpec
+
+CacheKey = Tuple[str, str, float]
+
+
+class EmbeddingStore:
+    """Pre-computes and memoises whitened item matrices for serving.
+
+    Parameters
+    ----------
+    feature_table:
+        Padded ``(num_items + 1, d_t)`` matrix of frozen pre-trained text
+        embeddings; row 0 is the padding item and is excluded from the
+        whitening statistics (mirroring the training-time convention in
+        :mod:`repro.models.whitenrec`).
+    eps:
+        Default covariance ridge used when a request does not specify one.
+    """
+
+    def __init__(self, feature_table: np.ndarray, eps: float = 1e-5):
+        feature_table = np.asarray(feature_table, dtype=np.float64)
+        if feature_table.ndim != 2:
+            raise ValueError("feature_table must be a 2-D (num_items + 1, d_t) matrix")
+        if feature_table.shape[0] < 3:
+            raise ValueError("feature_table needs a padding row and at least two items")
+        self._feature_table = feature_table.copy()
+        self._feature_table.setflags(write=False)
+        self.default_eps = eps
+        self._transforms: Dict[CacheKey, WhiteningTransform] = {}
+        self._tables: Dict[CacheKey, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def feature_table(self) -> np.ndarray:
+        """The raw (unwhitened) padded feature table, read-only."""
+        return self._feature_table
+
+    @property
+    def num_items(self) -> int:
+        return self._feature_table.shape[0] - 1
+
+    @property
+    def feature_dim(self) -> int:
+        return self._feature_table.shape[1]
+
+    @property
+    def num_fits(self) -> int:
+        """Total number of transform fits performed by this store."""
+        return sum(transform.fit_count for transform in self._transforms.values())
+
+    def cache_key(self, method: str = "zca", num_groups: GroupSpec = 1,
+                  eps: Optional[float] = None) -> CacheKey:
+        """Normalise a whitening specification into a hashable cache key.
+
+        ``eps=None`` resolves to this store's :attr:`default_eps`, so the key
+        matches the internal cache entries for default-ridge requests.
+        """
+        method = str(method).strip().lower()
+        if num_groups is None or (isinstance(num_groups, str)
+                                  and num_groups.lower() in {"raw", "none"}):
+            groups = "raw"
+        else:
+            groups = str(int(num_groups))
+        return method, groups, float(self.default_eps if eps is None else eps)
+
+    # ------------------------------------------------------------------ #
+    # Fitting and retrieval
+    # ------------------------------------------------------------------ #
+    def transform(self, method: str = "zca", num_groups: GroupSpec = 1,
+                  eps: Optional[float] = None) -> WhiteningTransform:
+        """Return the fitted transform for a spec, fitting it at most once."""
+        eps = self.default_eps if eps is None else eps
+        key = self.cache_key(method, num_groups, eps)
+        if key not in self._transforms:
+            transform = build_whitening(method, num_groups, eps)
+            transform.fit(self._feature_table[1:])
+            self._transforms[key] = transform
+        return self._transforms[key]
+
+    def whitened(self, method: str = "zca", num_groups: GroupSpec = 1,
+                 eps: Optional[float] = None) -> np.ndarray:
+        """Padded whitened item matrix for a spec, computed at most once.
+
+        The returned array is cached and marked read-only; every call with the
+        same specification returns the same object.
+        """
+        key = self.cache_key(method, num_groups, eps)
+        if key not in self._tables:
+            transform = self.transform(method, num_groups, eps)
+            table = np.zeros_like(self._feature_table)
+            table[1:] = transform.transform(self._feature_table[1:])
+            table.setflags(write=False)
+            self._tables[key] = table
+        return self._tables[key]
+
+    def encode_new_items(self, embeddings: np.ndarray, method: str = "zca",
+                         num_groups: GroupSpec = 1,
+                         eps: Optional[float] = None) -> np.ndarray:
+        """Project *new* item embeddings into an already-fitted whitened space.
+
+        Because whitening statistics are frozen at fit time (Sec. IV-E), items
+        added to the catalogue after deployment can be served by applying the
+        cached transform — no re-fit, no drift in the existing item matrix.
+        """
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2 or embeddings.shape[1] != self.feature_dim:
+            raise ValueError(
+                f"new item embeddings must have shape (m, {self.feature_dim})"
+            )
+        return self.transform(method, num_groups, eps).transform(embeddings)

@@ -1,0 +1,69 @@
+"""Serving throughput measurement helpers.
+
+Used by the ``repro serve`` CLI and the serving micro-benchmark to report
+sequences/second for the batched fast path, and to provide the per-sequence
+evaluation-loop baseline it is compared against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..data.dataloader import make_batch
+
+
+@dataclass
+class ThroughputReport:
+    """Timing of a serving call over a batch of request sequences."""
+
+    num_sequences: int
+    seconds: float
+    repeats: int = 1
+
+    @property
+    def sequences_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.num_sequences * self.repeats / self.seconds
+
+
+def measure_throughput(serve_fn: Callable[[], object], num_sequences: int,
+                       repeats: int = 1, warmup: int = 1) -> ThroughputReport:
+    """Time ``serve_fn`` (one call = one batch of ``num_sequences`` requests).
+
+    ``warmup`` untimed calls let lazy caches (the item matrix, the whitened
+    tables) fill before measurement, so the report reflects steady-state
+    serving rather than first-request latency.
+    """
+    for _ in range(warmup):
+        serve_fn()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        serve_fn()
+    seconds = time.perf_counter() - start
+    return ThroughputReport(num_sequences=num_sequences, seconds=seconds,
+                            repeats=repeats)
+
+
+def per_sequence_topk(model, sequences: Sequence[Sequence[int]],
+                      k: int) -> List[np.ndarray]:
+    """Evaluation-loop baseline: score one sequence at a time via the model.
+
+    This is how the training/evaluation stack ranks items — one
+    :meth:`predict_scores` call (a full float64 forward pass) per history,
+    followed by a full argsort.  Histories are padded to the model's
+    ``max_seq_length`` window, exactly like evaluation batches, so the
+    resulting rankings are comparable with the batched fast path.
+    """
+    results: List[np.ndarray] = []
+    for sequence in sequences:
+        history = [int(i) for i in sequence if 0 < int(i) <= model.num_items]
+        history = history[-model.max_seq_length:]
+        batch = make_batch([(0, history, 0)], model.max_seq_length)
+        scores = model.predict_scores(batch)[0]
+        results.append(np.argsort(-scores, kind="stable")[:k])
+    return results

@@ -9,7 +9,13 @@ from .base import (
     register_whitening,
 )
 from .flow import FlowGaussianization
-from .group import GroupWhitening, group_slices, resolve_group_count, whiten_with_groups
+from .group import (
+    GroupWhitening,
+    build_whitening,
+    group_slices,
+    resolve_group_count,
+    whiten_with_groups,
+)
 from .linear import BatchNormWhitening, CholeskyWhitening, PCAWhitening, ZCAWhitening
 from .metrics import (
     cosine_similarity_cdf,
@@ -35,6 +41,7 @@ __all__ = [
     "WhiteningTransform",
     "ZCAWhitening",
     "available_whitenings",
+    "build_whitening",
     "centered_covariance",
     "cosine_similarity_cdf",
     "covariance_condition_number",

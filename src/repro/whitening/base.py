@@ -14,19 +14,40 @@ models never re-estimate statistics during training.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
 
 class WhiteningTransform:
-    """Base class for non-parametric whitening transforms."""
+    """Base class for non-parametric whitening transforms.
+
+    Subclasses implement :meth:`fit` / :meth:`transform`.  Every ``fit`` call
+    is counted in :attr:`fit_count` (via ``__init_subclass__`` wrapping), so
+    serving-layer caches can assert that a transform was fitted exactly once.
+    """
 
     #: human readable name used by the registry and in reports
     name: str = "identity"
 
     def __init__(self) -> None:
         self._fitted = False
+        self.fit_count = 0
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        fit = cls.__dict__.get("fit")
+        if fit is None:
+            return
+
+        @functools.wraps(fit)
+        def counted_fit(self, embeddings, *args, **kw):
+            result = fit(self, embeddings, *args, **kw)
+            self.fit_count = getattr(self, "fit_count", 0) + 1
+            return result
+
+        cls.fit = counted_fit
 
     @property
     def is_fitted(self) -> bool:
@@ -58,7 +79,12 @@ class WhiteningTransform:
 
 
 class IdentityWhitening(WhiteningTransform):
-    """No-op transform ("Raw" in the paper's figures)."""
+    """No-op transform — the "Raw" baseline.
+
+    Paper reference: the un-whitened pre-trained embeddings whose anisotropy
+    Fig. 2 / Fig. 4 demonstrate, and the ``Raw`` end of the group-count sweep
+    in Fig. 8 (``G = "raw"`` recovers SASRec_T behaviour).
+    """
 
     name = "raw"
 
@@ -105,12 +131,14 @@ def register_whitening(name: str) -> Callable:
 
 
 def available_whitenings() -> list:
-    """Names of all registered whitening methods."""
+    """Names of all registered whitening methods (the rows of Table VI plus
+    aliases): ``zca``, ``pca``, ``cholesky``/``cd``, ``batchnorm``/``bn``,
+    ``group_zca``, ``bert_flow``/``bert-flow`` and ``raw``/``identity``."""
     return sorted(_REGISTRY)
 
 
 def get_whitening(name: str, **kwargs) -> WhiteningTransform:
-    """Instantiate a registered whitening transform by name."""
+    """Instantiate a registered whitening transform by its Table VI label."""
     if name not in _REGISTRY:
         raise KeyError(f"unknown whitening {name!r}; available: {available_whitenings()}")
     return _REGISTRY[name](**kwargs)

@@ -35,7 +35,12 @@ def _normal_quantile(p: np.ndarray) -> np.ndarray:
 
 @register_whitening("bert_flow")
 class FlowGaussianization(WhiteningTransform):
-    """Marginal Gaussianisation + random rotation ("BERT-flow" surrogate)."""
+    """Marginal Gaussianisation + random rotation ("BERT-flow" surrogate).
+
+    Paper reference: the ``BERT-flow`` column of Table VI (Sec. V-E) — better
+    than the parametric/PCA baselines, worse than CD/ZCA, because Gaussian
+    marginals do not guarantee a decorrelated joint distribution.
+    """
 
     def __init__(self, seed: int = 0, clip: float = 1e-4):
         super().__init__()

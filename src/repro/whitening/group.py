@@ -13,11 +13,34 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from .base import IdentityWhitening, WhiteningTransform, register_whitening
+from .base import IdentityWhitening, WhiteningTransform, get_whitening, register_whitening
 from .linear import ZCAWhitening
 
 
 GroupSpec = Union[int, str, None]
+
+#: methods whose registered constructor takes no ``eps`` ridge
+_NO_EPS_METHODS = {"bert_flow", "bert-flow", "raw", "identity"}
+
+
+def build_whitening(method: str = "zca", num_groups: GroupSpec = 1,
+                    eps: float = 1e-5) -> WhiteningTransform:
+    """Select the transform for a ``(method, num_groups, eps)`` specification.
+
+    Single source of truth shared by training-time table construction
+    (:mod:`repro.models.whitenrec`) and the serving cache
+    (:class:`repro.serving.store.EmbeddingStore`), so the served matrices are
+    always whitened into the same space the model trained against.  Any
+    ``num_groups`` other than 1 routes through :class:`GroupWhitening`
+    (Eqn. 5); ``num_groups=1`` with a non-ZCA method dispatches through the
+    Table VI registry.
+    """
+    method = str(method).strip().lower()
+    if method in {"zca", "group_zca"} or num_groups not in (1, None):
+        return GroupWhitening(num_groups=num_groups, eps=eps)
+    if method in _NO_EPS_METHODS:
+        return get_whitening(method)
+    return get_whitening(method, eps=eps)
 
 
 def resolve_group_count(groups: GroupSpec, dim: int) -> Optional[int]:
@@ -58,6 +81,11 @@ def group_slices(dim: int, num_groups: int) -> List[slice]:
 @register_whitening("group_zca")
 class GroupWhitening(WhiteningTransform):
     """Relaxed whitening with ``num_groups`` independent ZCA transforms.
+
+    Paper reference: Eqn. (5) — the block-diagonal whitening matrix with one
+    ZCA block per dimension group.  The group-count sweep of Fig. 5 / Fig. 8
+    and WhitenRec+'s relaxed branch (Sec. IV-D, Table III) are built on this
+    transform; ``G = 1`` recovers the full whitening of Eqn. (4).
 
     Parameters
     ----------

@@ -57,7 +57,13 @@ def _symmetric_eig(covariance: np.ndarray) -> tuple:
 
 @register_whitening("zca")
 class ZCAWhitening(_MatrixWhitening):
-    """Zero-phase Component Analysis whitening (Eqn. 4, the paper's default)."""
+    """Zero-phase Component Analysis whitening — the paper's default.
+
+    Paper reference: Eqn. (4) (``Φ = D Λ^{-1/2} Dᵀ`` applied to the centred
+    embeddings) and the best-performing ``ZCA`` column of Table VI.  ZCA is
+    the maximally input-preserving whitening, which the paper credits for its
+    stability over PCA.
+    """
 
     def _compute_matrix(self, covariance: np.ndarray) -> np.ndarray:
         eigenvalues, eigenvectors = _symmetric_eig(covariance)
@@ -67,7 +73,12 @@ class ZCAWhitening(_MatrixWhitening):
 
 @register_whitening("pca")
 class PCAWhitening(_MatrixWhitening):
-    """PCA whitening: rotate into the eigenbasis and rescale."""
+    """PCA whitening: rotate into the eigenbasis and rescale.
+
+    Paper reference: the ``PCA`` column of Table VI (Sec. V-E), where it
+    under-performs ZCA/CD because eigenvector sign/order instability
+    ("stochastic axis swapping") scrambles the representation across fits.
+    """
 
     def _compute_matrix(self, covariance: np.ndarray) -> np.ndarray:
         eigenvalues, eigenvectors = _symmetric_eig(covariance)
@@ -76,7 +87,11 @@ class PCAWhitening(_MatrixWhitening):
 
 @register_whitening("cholesky")
 class CholeskyWhitening(_MatrixWhitening):
-    """Cholesky (CD) whitening: Σ = L Lᵀ, Φ = L^{-1}."""
+    """Cholesky decomposition whitening: Σ = L Lᵀ, Φ = L^{-1}.
+
+    Paper reference: the ``CD`` column of Table VI (Sec. V-E), the closest
+    competitor to ZCA among the non-parametric methods.
+    """
 
     def _compute_matrix(self, covariance: np.ndarray) -> np.ndarray:
         lower = np.linalg.cholesky(covariance)
@@ -85,7 +100,12 @@ class CholeskyWhitening(_MatrixWhitening):
 
 @register_whitening("batchnorm")
 class BatchNormWhitening(_MatrixWhitening):
-    """Per-dimension standardisation (BN); no cross-dimension decorrelation."""
+    """Per-dimension standardisation; no cross-dimension decorrelation.
+
+    Paper reference: the ``BN`` column of Table VI (Sec. V-E).  Only the
+    diagonal of Σ is used (``Φ = diag(Σ)^{-1/2}``), so correlated axes stay
+    correlated — which is why it trails the full whitening methods.
+    """
 
     def _compute_matrix(self, covariance: np.ndarray) -> np.ndarray:
         variances = np.clip(np.diag(covariance), 1e-12, None)

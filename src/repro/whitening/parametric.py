@@ -21,7 +21,14 @@ from ..nn import Linear, Module, Parameter, Tensor
 
 
 class ParametricWhitening(Module):
-    """Learnable whitening layer ``z = (x - b) W`` (PW in the paper)."""
+    """Learnable whitening layer ``z = (x - b) W``.
+
+    Paper reference: the ``PW`` column of Table VI (Sec. V-E), adopted from
+    UniSRec [6].  Because ``W`` and ``b`` are trained with the
+    recommendation loss, nothing constrains the output covariance to the
+    identity — the paper shows the outputs remain correlated, which is why PW
+    trails every closed-form whitening method.
+    """
 
     def __init__(self, in_dim: int, out_dim: Optional[int] = None,
                  rng: Optional[np.random.Generator] = None):

@@ -1,0 +1,368 @@
+"""Tests for the batched serving layer (`repro.serving`).
+
+Covers: top-K correctness against a brute-force full-sort reference,
+seen-item masking, the cold-start fallback paths, fit-once caching of the
+whitening transforms, the no-grad inference mode, checkpoint round trips and
+the `serve` CLI command.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.data import load_dataset
+from repro.data.splits import leave_one_out_split
+from repro.experiments.persistence import (
+    load_checkpoint,
+    load_model,
+    save_checkpoint,
+)
+from repro.models import ModelConfig, SASRecID, build_model
+from repro.models.whitenrec import _whiten_feature_table
+from repro.nn import Tensor, is_grad_enabled, no_grad
+from repro.serving import (
+    EmbeddingStore,
+    Recommender,
+    full_sort_topk,
+    measure_throughput,
+    per_sequence_topk,
+)
+from repro.text import encode_items
+
+
+@pytest.fixture(scope="module")
+def serving_setup(request):
+    """A small untrained (but deterministic) model + store + split."""
+    dataset = load_dataset("arts", scale="tiny", seed=3,
+                           num_users=150, num_items=90, min_sequence_length=4)
+    split = leave_one_out_split(dataset.interactions)
+    features = encode_items(dataset.items, embedding_dim=16, seed=3)
+    config = ModelConfig(hidden_dim=16, num_layers=1, num_heads=2,
+                         dropout=0.1, max_seq_length=12, seed=0)
+    model = build_model("whitenrec", dataset.num_items,
+                        feature_table=features, config=config)
+    return dataset, split, features, model
+
+
+def _brute_force_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    """Independent reference: full argsort with smaller-id tie-breaking."""
+    ids = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
+    return np.lexsort((ids, -scores), axis=1)[:, :k]
+
+
+class TestEmbeddingStore:
+    def test_whitened_is_cached_and_fitted_once(self, serving_setup):
+        _, _, features, _ = serving_setup
+        store = EmbeddingStore(features)
+        first = store.whitened("zca", 1)
+        second = store.whitened("zca", 1)
+        assert first is second
+        assert store.num_fits == 1
+        assert store.transform("zca", 1).fit_count == 1
+
+    def test_specs_cached_independently(self, serving_setup):
+        _, _, features, _ = serving_setup
+        store = EmbeddingStore(features)
+        zca = store.whitened("zca", 1)
+        grouped = store.whitened("zca", 4)
+        raw = store.whitened("raw", None)
+        assert not np.allclose(zca, grouped)
+        assert np.allclose(raw[1:], features[1:])
+        assert store.num_fits == 3
+
+    def test_matches_training_time_whitening(self, serving_setup):
+        """The served table must equal what the model trained against."""
+        _, _, features, _ = serving_setup
+        store = EmbeddingStore(features)
+        expected = _whiten_feature_table(features, "zca", 1, 1e-5)
+        assert np.allclose(store.whitened("zca", 1, eps=1e-5), expected)
+
+    def test_padding_row_stays_zero(self, serving_setup):
+        _, _, features, _ = serving_setup
+        store = EmbeddingStore(features)
+        assert np.all(store.whitened("zca", 1)[0] == 0.0)
+
+    def test_tables_are_read_only(self, serving_setup):
+        _, _, features, _ = serving_setup
+        store = EmbeddingStore(features)
+        table = store.whitened("zca", 1)
+        with pytest.raises(ValueError):
+            table[1, 0] = 123.0
+
+    def test_encode_new_items_does_not_refit(self, serving_setup):
+        _, _, features, _ = serving_setup
+        store = EmbeddingStore(features)
+        store.whitened("zca", 1)
+        fits_before = store.num_fits
+        rng = np.random.default_rng(0)
+        new_items = rng.standard_normal((5, store.feature_dim))
+        projected = store.encode_new_items(new_items, "zca", 1)
+        assert projected.shape == (5, store.feature_dim)
+        assert store.num_fits == fits_before
+        assert np.allclose(projected, store.transform("zca", 1).transform(new_items))
+
+
+class TestTopKCorrectness:
+    def test_topk_matches_brute_force_full_sort(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        histories = [case.history for case in split.test[:40]]
+        for k in (1, 5, 20):
+            result = recommender.topk(histories, k=k)
+            scores, _ = recommender.score(histories)
+            assert np.array_equal(result.items, _brute_force_topk(scores, k))
+            # The packaged reference must agree with the independent one.
+            ref_items, ref_scores = full_sort_topk(scores, k)
+            assert np.array_equal(result.items, ref_items)
+            assert np.allclose(result.scores, ref_scores)
+
+    def test_scores_sorted_descending(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        result = recommender.topk([case.history for case in split.test[:10]], k=15)
+        assert np.all(np.diff(result.scores, axis=1) <= 0)
+
+    def test_matches_evaluation_loop_scoring(self, serving_setup):
+        """Batched float64 serving ranks exactly like per-sequence evaluation."""
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features),
+                                  dtype=np.float64)
+        histories = [case.history for case in split.test[:16]]
+        batched = recommender.topk(histories, k=10, exclude_seen=False)
+        reference = per_sequence_topk(model, histories, k=10)
+        for row in range(len(histories)):
+            assert np.array_equal(batched.items[row], reference[row])
+
+    def test_k_clamped_to_catalogue(self, serving_setup):
+        dataset, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        result = recommender.topk([split.test[0].history], k=10_000)
+        assert result.items.shape == (1, dataset.num_items)
+
+    def test_invalid_k_rejected(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model)
+        with pytest.raises(ValueError):
+            recommender.topk([split.test[0].history], k=0)
+
+
+class TestSeenItemMasking:
+    def test_history_items_never_recommended(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        histories = [case.history for case in split.test[:30]]
+        result = recommender.topk(histories, k=10)
+        for row, history in enumerate(histories):
+            assert not set(history) & set(result.items[row].tolist())
+
+    def test_padding_item_never_recommended(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        result = recommender.topk([case.history for case in split.test[:30]], k=10)
+        assert not np.any(result.items == 0)
+
+    def test_exclude_seen_can_be_disabled(self, serving_setup):
+        dataset, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        history = split.test[0].history
+        scores, _ = recommender.score([history], exclude_seen=False)
+        assert np.all(np.isfinite(scores[0, history]))
+
+
+class TestColdStartFallback:
+    def test_empty_history_uses_fallback(self, serving_setup):
+        _, _, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        result = recommender.topk([[]], k=5)
+        assert result.cold[0]
+        assert np.all(result.items[0] > 0)
+
+    def test_out_of_catalogue_ids_use_fallback(self, serving_setup):
+        dataset, _, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        result = recommender.topk([[dataset.num_items + 50, 0, -3]], k=5)
+        assert result.cold[0]
+
+    def test_cold_items_route_to_content_scoring(self, serving_setup):
+        """A history made entirely of declared-cold items uses the whitened
+        text embeddings, and the scores match a manual reconstruction."""
+        dataset, _, features, model = serving_setup
+        store = EmbeddingStore(features)
+        history = [3, 7]
+        recommender = Recommender(model, store=store, cold_items=history)
+        scores, cold = recommender.score([history], exclude_seen=False)
+        assert cold[0]
+        table = store.whitened("zca", 1)[: dataset.num_items + 1].astype(np.float32)
+        expected = table @ table[history].mean(axis=0)
+        # Column 0 is masked after the fallback computes raw scores.
+        assert np.allclose(scores[0, 1:], expected[1:], rtol=1e-5)
+
+    def test_warm_items_keep_transformer_path(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features),
+                                  cold_items=[3])
+        result = recommender.topk([split.test[0].history], k=5)
+        assert not result.cold[0]
+
+    def test_popularity_fallback_without_store(self, serving_setup):
+        _, split, _, model = serving_setup
+        recommender = Recommender(model, train_sequences=split.train_sequences)
+        counts = np.zeros(model.num_items + 1)
+        for sequence in split.train_sequences.values():
+            for item in sequence:
+                counts[item] += 1
+        result = recommender.topk([[]], k=1)
+        assert result.cold[0]
+        assert result.items[0, 0] == int(np.argmax(counts))
+
+
+class TestCacheReuse:
+    def test_item_matrix_computed_once(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        calls = {"count": 0}
+        original = model.item_representations
+
+        def counting():
+            calls["count"] += 1
+            return original()
+
+        model.item_representations = counting
+        try:
+            histories = [case.history for case in split.test[:4]]
+            recommender.topk(histories, k=3)
+            recommender.topk(histories, k=3)
+        finally:
+            model.item_representations = original
+        assert calls["count"] == 1
+
+    def test_refresh_drops_cache(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        first = recommender.item_matrix()
+        recommender.refresh_item_matrix()
+        second = recommender.item_matrix()
+        assert first is not second
+        assert np.allclose(first, second)
+
+    def test_store_shared_across_recommenders(self, serving_setup):
+        _, _, features, model = serving_setup
+        store = EmbeddingStore(features)
+        for _ in range(3):
+            Recommender(model, store=store).topk([[]], k=2)
+        assert store.num_fits == 1
+
+
+class TestInferenceMode:
+    def test_no_grad_disables_graph_recording(self):
+        param = Tensor(np.ones((2, 2)), requires_grad=True)
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            out = (param * 2.0).sum()
+            assert not out.requires_grad
+        assert is_grad_enabled()
+        tracked = (param * 2.0).sum()
+        assert tracked.requires_grad
+
+    def test_astype_detaches_and_casts(self):
+        param = Tensor(np.ones(3), requires_grad=True)
+        cast = param.astype(np.float32)
+        assert cast.dtype == np.float32
+        assert not cast.requires_grad
+
+    def test_encode_sequences_returns_numpy(self, serving_setup):
+        _, split, _, model = serving_setup
+        from repro.data import pad_sequences
+
+        item_ids, lengths = pad_sequences(
+            [split.test[0].history[-model.max_seq_length:]], model.max_seq_length
+        )
+        users = model.encode_sequences(item_ids, lengths)
+        assert isinstance(users, np.ndarray)
+        assert users.shape == (1, model.hidden_dim)
+
+    def test_item_scores_masks_padding(self, serving_setup):
+        _, split, _, model = serving_setup
+        from repro.data import pad_sequences
+
+        item_ids, lengths = pad_sequences(
+            [split.test[0].history[-model.max_seq_length:]], model.max_seq_length
+        )
+        scores = model.item_scores(item_ids, lengths)
+        assert scores.dtype == np.float32
+        assert scores[0, 0] == -np.inf
+
+
+class TestCheckpoints:
+    def test_round_trip_preserves_recommendations(self, serving_setup, tmp_path):
+        _, split, features, model = serving_setup
+        path = save_checkpoint(model, tmp_path / "model.npz", feature_table=features)
+        histories = [case.history for case in split.test[:8]]
+        direct = Recommender(model, store=EmbeddingStore(features)).topk(histories, k=5)
+        served = Recommender.from_checkpoint(
+            path, train_sequences=split.train_sequences
+        ).topk(histories, k=5)
+        assert np.array_equal(direct.items, served.items)
+
+    def test_checkpoint_metadata(self, serving_setup, tmp_path):
+        _, _, features, model = serving_setup
+        path = save_checkpoint(model, tmp_path / "meta", feature_table=features,
+                               extra={"note": "unit-test"})
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.metadata["model_name"] == "whitenrec"
+        assert checkpoint.metadata["num_items"] == model.num_items
+        assert checkpoint.metadata["extra"]["note"] == "unit-test"
+        assert checkpoint.feature_table is not None
+
+    def test_id_model_checkpoint_without_features(self, serving_setup, tmp_path):
+        dataset, _, _, _ = serving_setup
+        config = ModelConfig(hidden_dim=16, num_layers=1, num_heads=2,
+                             max_seq_length=12, seed=0)
+        model = SASRecID(dataset.num_items, config=config)
+        path = save_checkpoint(model, tmp_path / "id_model")
+        restored = load_model(path)
+        assert np.allclose(restored.inference_item_matrix(),
+                           model.inference_item_matrix())
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, values=np.arange(3))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+
+class TestThroughputHelpers:
+    def test_measure_throughput_counts_repeats(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        histories = [case.history for case in split.test[:8]]
+        report = measure_throughput(lambda: recommender.topk(histories, k=5),
+                                    num_sequences=len(histories), repeats=2)
+        assert report.num_sequences == 8
+        assert report.repeats == 2
+        assert report.sequences_per_second > 0
+
+
+class TestServeCLI:
+    def test_serve_from_checkpoint(self, tmp_path, capsys):
+        # Build a checkpoint aligned with the CLI's default dataset settings
+        # (arts / tiny / seed 7 / dim 32) so no training is needed.
+        dataset = load_dataset("arts", scale="tiny", seed=7)
+        features = encode_items(dataset.items, embedding_dim=32, seed=7)
+        config = ModelConfig(hidden_dim=16, num_layers=1, num_heads=2,
+                             max_seq_length=20, seed=7)
+        model = build_model("whitenrec", dataset.num_items,
+                            feature_table=features, config=config)
+        path = save_checkpoint(model, tmp_path / "cli_model", feature_table=features)
+
+        exit_code = cli_main([
+            "serve", "arts", "--checkpoint", str(path),
+            "--requests", "3", "--k", "5", "--repeats", "1",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "top-5 items" in captured.out
+        assert "sequences/second" in captured.out

@@ -7,6 +7,7 @@ Public surface:
 * :mod:`repro.text`       — synthetic item texts + anisotropic "pre-trained" encoder
 * :mod:`repro.data`       — synthetic datasets, splits, batching (RecBole stand-in)
 * :mod:`repro.whitening`  — ZCA/PCA/CD/BN/group/flow whitening + geometry metrics
+* :mod:`repro.index`      — IVF / product-quantization ANN retrieval over item embeddings
 * :mod:`repro.models`     — WhitenRec, WhitenRec+ and every compared baseline
 * :mod:`repro.training`   — trainer, early stopping, Recall@K / NDCG@K evaluation
 * :mod:`repro.analysis`   — anisotropy, alignment/uniformity, conditioning, t-SNE
@@ -14,7 +15,7 @@ Public surface:
 * :mod:`repro.serving`    — batched, cache-backed top-K recommendation serving
 """
 
-from . import analysis, data, experiments, models, nn, serving, text, training, whitening
+from . import analysis, data, experiments, index, models, nn, serving, text, training, whitening
 from .data import load_dataset
 from .models import ModelConfig, WhitenRec, WhitenRecPlus, build_model
 from .serving import EmbeddingStore, Recommender
@@ -35,6 +36,7 @@ __all__ = [
     "data",
     "evaluate_model",
     "experiments",
+    "index",
     "load_dataset",
     "models",
     "nn",

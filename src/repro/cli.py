@@ -21,7 +21,13 @@ Inspect the anisotropy of the pre-trained text embeddings (Fig. 2 summary)::
 Train (or load) a model and serve batched top-K recommendations::
 
     python -m repro serve arts --epochs 2 --k 10 --save-checkpoint runs/arts.npz
-    python -m repro serve arts --checkpoint runs/arts.npz
+    python -m repro serve arts --checkpoint runs/arts.npz --backend ivf
+
+Build an ANN index over the whitened item embeddings (or over a checkpoint's
+candidate item matrix) and save it for a retrieval process::
+
+    python -m repro index build arts --kind ivf --output runs/arts_index.npz
+    python -m repro index build arts --checkpoint runs/arts.npz --kind ivfpq
 """
 
 from __future__ import annotations
@@ -79,7 +85,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="model alias (see repro.models.available_models)")
     serve_parser.add_argument("--epochs", type=int, default=2,
                               help="training epochs when no checkpoint is loaded")
-    serve_parser.add_argument("--k", type=int, default=10, help="top-K cut-off")
+    serve_parser.add_argument("--k", type=int, default=10,
+                              help="top-K cut-off (number of items per request)")
+    serve_parser.add_argument("--backend", default="exact",
+                              choices=["exact", "ivf", "ivfpq"],
+                              help="retrieval backend: exact dense scan or an "
+                                   "ANN index (default: exact)")
     serve_parser.add_argument("--requests", type=int, default=8,
                               help="number of test histories to serve")
     serve_parser.add_argument("--repeats", type=int, default=3,
@@ -91,6 +102,40 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="load a checkpoint instead of training")
     serve_parser.add_argument("--save-checkpoint", default=None,
                               help="save the trained model to this path")
+
+    index_parser = subparsers.add_parser(
+        "index", help="build and inspect ANN item-retrieval indexes"
+    )
+    index_commands = index_parser.add_subparsers(dest="index_command", required=True)
+    build_parser = index_commands.add_parser(
+        "build", help="build an IVF/IVFPQ/flat index and save it as .npz"
+    )
+    build_parser.add_argument("dataset", choices=available_presets())
+    build_parser.add_argument("--scale", default="tiny",
+                              choices=["tiny", "small", "paper"])
+    build_parser.add_argument("--kind", default="ivf",
+                              choices=["flat", "ivf", "ivfpq"],
+                              help="index family (default: ivf)")
+    build_parser.add_argument("--checkpoint", default=None,
+                              help="index the checkpointed model's candidate "
+                                   "item matrix instead of whitened text embeddings")
+    build_parser.add_argument("--whitening", default="zca",
+                              help="whitening method for the indexed space "
+                                   "(ignored with --checkpoint)")
+    build_parser.add_argument("--groups", type=int, default=1,
+                              help="whitening group count (ignored with --checkpoint)")
+    build_parser.add_argument("--lists", type=int, default=None,
+                              help="number of inverted lists (default: sqrt(n))")
+    build_parser.add_argument("--nprobe", type=int, default=None,
+                              help="default lists scanned per query "
+                                   "(default: n_lists/8)")
+    build_parser.add_argument("--dim", type=int, default=32,
+                              help="pre-trained text embedding dimension")
+    build_parser.add_argument("--seed", type=int, default=7)
+    build_parser.add_argument("--queries", type=int, default=64,
+                              help="sampled queries for the recall self-check")
+    build_parser.add_argument("--output", default=None,
+                              help="write the index to this .npz path")
 
     return parser
 
@@ -175,7 +220,8 @@ def _command_serve(args) -> int:
 
     store = EmbeddingStore(features)
     recommender = Recommender(model, store=store,
-                              train_sequences=split.train_sequences)
+                              train_sequences=split.train_sequences,
+                              backend=args.backend)
 
     cases = split.test[: max(1, args.requests)]
     histories = [case.history for case in cases]
@@ -186,7 +232,8 @@ def _command_serve(args) -> int:
         path = "cold" if cold else "warm"
         rows.append([case.user_id, path, " ".join(str(int(i)) for i in items)])
     print(format_table(["user", "path", f"top-{args.k} items"], rows,
-                       title=f"Batched recommendations — {args.dataset} ({args.scale})"))
+                       title=f"Batched recommendations — {args.dataset} "
+                             f"({args.scale}, backend={args.backend})"))
 
     report = measure_throughput(lambda: recommender.topk(histories, k=args.k),
                                 num_sequences=len(histories),
@@ -194,6 +241,81 @@ def _command_serve(args) -> int:
     print(f"throughput: {report.sequences_per_second:,.0f} sequences/second "
           f"({report.num_sequences} requests x {report.repeats} repeats "
           f"in {report.seconds:.3f}s)")
+    return 0
+
+
+def _command_index_build(args) -> int:
+    import numpy as np
+
+    from .index import FlatIndex, build_index
+    from .serving import EmbeddingStore
+
+    index_params = {}
+    if args.kind in ("ivf", "ivfpq"):
+        index_params = {"n_lists": args.lists, "nprobe": args.nprobe,
+                        "seed": args.seed}
+
+    if args.checkpoint:
+        from .experiments.persistence import load_checkpoint, load_model
+
+        checkpoint = load_checkpoint(args.checkpoint)
+        features = checkpoint.feature_table
+        if features is None:
+            dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+            features = encode_items(dataset.items, embedding_dim=args.dim,
+                                    seed=args.seed)
+        model = load_model(checkpoint, feature_table=features)
+        table = model.inference_item_matrix()
+        space = f"item matrix of {args.checkpoint}"
+        index = build_index(args.kind, **index_params)
+        index.build(table[1:], ids=np.arange(1, table.shape[0], dtype=np.int64))
+    else:
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        features = encode_items(dataset.items, embedding_dim=args.dim,
+                                seed=args.seed)
+        store = EmbeddingStore(features)
+        table = store.whitened(args.whitening, args.groups)
+        space = f"{args.whitening} whitened text embeddings (groups={args.groups})"
+        index = store.index(args.whitening, args.groups, kind=args.kind,
+                            **index_params)
+
+    # Recall self-check: indexed vectors perturbed into nearby queries must
+    # retrieve their own neighbourhood like the exact scan does.  Sizes come
+    # from the indexed table, which with --checkpoint may differ from the
+    # dataset the CLI flags describe.
+    num_indexed = table.shape[0] - 1
+    rng = np.random.default_rng(args.seed)
+    num_queries = max(1, min(args.queries, num_indexed))
+    picks = rng.choice(num_indexed, size=num_queries, replace=False) + 1
+    queries = table[picks] + 0.1 * rng.standard_normal((num_queries, table.shape[1]))
+    k = min(10, num_indexed)
+    exact = FlatIndex().build(table[1:], ids=np.arange(1, table.shape[0],
+                                                       dtype=np.int64))
+    exact_ids, _ = exact.search(queries, k)
+    approx_ids, _ = index.search(queries, k)
+    recall = float(np.mean([
+        len(set(row) & set(reference)) / k
+        for row, reference in zip(approx_ids.tolist(), exact_ids.tolist())
+    ]))
+    scanned = index.last_scan_counts
+    scan_fraction = float(scanned.mean()) / max(1, len(index))
+
+    rows = [
+        ["space", space],
+        ["kind", index.kind],
+        ["vectors", len(index)],
+        ["dim", index.dim],
+    ]
+    if hasattr(index, "num_lists"):
+        rows.append(["lists", index.num_lists])
+        rows.append(["nprobe", index.nprobe])
+    rows.append([f"recall@{k} vs exact", f"{recall:.3f}"])
+    rows.append(["scan fraction", f"{scan_fraction:.3f}"])
+    print(format_table(["property", "value"], rows,
+                       title=f"ANN index — {args.dataset} ({args.scale})"))
+    if args.output:
+        path = index.save(args.output)
+        print(f"saved index to {path}")
     return 0
 
 
@@ -210,6 +332,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_anisotropy(args.dataset, args.dim, args.seed)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "index":
+        return _command_index_build(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

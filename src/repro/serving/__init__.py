@@ -9,18 +9,21 @@ into a cache-backed top-K service:
 * :class:`Recommender`   — vectorised ``topk(user_sequences, k)``: one
   matmul scores a whole batch against the full catalogue, ``argpartition``
   extracts the top K, seen items are masked, and histories the sequence
-  encoder cannot use fall back to whitened-text content scoring;
+  encoder cannot use fall back to whitened-text content scoring.  A
+  ``backend`` knob swaps the dense scan for ANN retrieval through
+  :mod:`repro.index` (``"ivf"`` / ``"ivfpq"``) with the masking preserved;
 * :mod:`repro.serving.throughput` — sequences/second measurement used by the
   ``repro serve`` CLI and the serving micro-benchmark.
 """
 
-from .recommender import Recommender, TopKResult, full_sort_topk
+from .recommender import SERVING_BACKENDS, Recommender, TopKResult, full_sort_topk
 from .store import EmbeddingStore
 from .throughput import ThroughputReport, measure_throughput, per_sequence_topk
 
 __all__ = [
     "EmbeddingStore",
     "Recommender",
+    "SERVING_BACKENDS",
     "ThroughputReport",
     "TopKResult",
     "full_sort_topk",

@@ -29,8 +29,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataloader import pad_sequences
+from ..index import ItemIndex, build_index
 from ..nn import functional as F
 from .store import EmbeddingStore
+
+#: retrieval backends accepted by :meth:`Recommender.topk`
+SERVING_BACKENDS = ("exact", "ivf", "ivfpq")
 
 
 @dataclass
@@ -90,18 +94,35 @@ class Recommender:
         Scoring precision for the single-matmul fast path (default float32).
     fallback_method / fallback_groups:
         Whitening specification used for the content-based fallback space.
+    backend:
+        Default retrieval backend for :meth:`topk`: ``"exact"`` (dense
+        full-catalogue matmul, the reference), ``"ivf"`` or ``"ivfpq"``
+        (ANN retrieval through :mod:`repro.index`, O(scanned fraction)
+        instead of O(catalogue)).
+    index_params:
+        Extra constructor kwargs for :func:`repro.index.build_index` when an
+        ANN backend builds its index (e.g. ``{"n_lists": 64, "nprobe": 8}``).
     """
 
     def __init__(self, model, store: Optional[EmbeddingStore] = None,
                  train_sequences: Optional[Dict[int, List[int]]] = None,
                  cold_items: Optional[Iterable[int]] = None,
                  dtype=np.float32,
-                 fallback_method: str = "zca", fallback_groups=1):
+                 fallback_method: str = "zca", fallback_groups=1,
+                 backend: str = "exact",
+                 index_params: Optional[Dict] = None):
+        if backend not in SERVING_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SERVING_BACKENDS}, got {backend!r}"
+            )
         self.model = model
         self.store = store
         self.dtype = dtype
         self.fallback_method = fallback_method
         self.fallback_groups = fallback_groups
+        self.default_backend = backend
+        self.index_params = dict(index_params or {})
+        self._indexes: Dict[str, ItemIndex] = {}
         self.cold_items = frozenset(int(item) for item in cold_items) if cold_items else frozenset()
         self.num_items = model.num_items
         if store is not None and store.num_items < self.num_items:
@@ -133,9 +154,28 @@ class Recommender:
         return self._item_matrix
 
     def refresh_item_matrix(self) -> None:
-        """Drop the cached ``V`` (call after fine-tuning the model)."""
+        """Drop the cached ``V`` and every index built on it (call after
+        fine-tuning the model)."""
         self._item_matrix = None
         self._item_matrix64 = None
+        self._indexes.clear()
+
+    def item_index(self, backend: str = "ivf") -> ItemIndex:
+        """The ANN index over the candidate matrix for ``backend`` (cached).
+
+        The index covers rows ``1..num_items`` of :meth:`item_matrix` (the
+        padding row is excluded) under their item ids, so search results are
+        directly item ids.  Like the item matrix itself it is built once and
+        reused across requests; :meth:`refresh_item_matrix` drops it.
+        """
+        if backend not in SERVING_BACKENDS or backend == "exact":
+            raise ValueError(f"no index backs the {backend!r} backend")
+        if backend not in self._indexes:
+            index = build_index(backend, **self.index_params)
+            index.build(self.item_matrix()[1:],
+                        ids=np.arange(1, self.num_items + 1, dtype=np.int64))
+            self._indexes[backend] = index
+        return self._indexes[backend]
 
     # ------------------------------------------------------------------ #
     # Request classification
@@ -150,6 +190,29 @@ class Recommender:
             return list(valid)
         return [item for item in valid if item not in self.cold_items]
 
+    def _classify(self, sequences: Sequence[Sequence[int]]):
+        """Split a request batch into histories / servable items / cold flags."""
+        histories = [self._clean(sequence) for sequence in sequences]
+        servable = [self._servable(valid) for valid in histories]
+        cold = np.array([len(items) == 0 for items in servable], dtype=bool)
+        return histories, servable, cold
+
+    def _encode_warm_rows(self, servable: Sequence[List[int]],
+                          warm_rows: np.ndarray) -> np.ndarray:
+        """User representations for the warm rows of a classified batch.
+
+        Histories are truncated and padded to the model's full window:
+        position embeddings depend on the padded width, so serving must use
+        the same width as training and evaluation for the representations to
+        match.
+        """
+        warm_histories = [servable[row][-self.model.max_seq_length:]
+                          for row in warm_rows]
+        item_ids, lengths = pad_sequences(warm_histories, self.model.max_seq_length)
+        return self.model.encode_sequences(
+            item_ids, lengths, item_matrix=self._warm_matrix64()
+        )
+
     # ------------------------------------------------------------------ #
     # Scoring
     # ------------------------------------------------------------------ #
@@ -162,23 +225,13 @@ class Recommender:
         ``exclude_seen``, every history item) masked to ``-inf``, and ``cold``
         flags the rows that used the fallback path.
         """
-        histories = [self._clean(sequence) for sequence in sequences]
-        servable = [self._servable(valid) for valid in histories]
-        cold = np.array([len(items) == 0 for items in servable], dtype=bool)
+        histories, servable, cold = self._classify(sequences)
         batch_size = len(histories)
         scores = np.full((batch_size, self.num_items + 1), -np.inf, dtype=self.dtype)
 
         warm_rows = np.flatnonzero(~cold)
         if warm_rows.size:
-            # Pad to the model's full window: position embeddings depend on the
-            # padded width, so serving must use the same width as training and
-            # evaluation for the representations to match.
-            warm_histories = [servable[row][-self.model.max_seq_length:]
-                              for row in warm_rows]
-            item_ids, lengths = pad_sequences(warm_histories, self.model.max_seq_length)
-            users = self.model.encode_sequences(
-                item_ids, lengths, item_matrix=self._warm_matrix64()
-            )
+            users = self._encode_warm_rows(servable, warm_rows)
             scores[warm_rows] = F.catalogue_scores(users, self.item_matrix(),
                                                    dtype=self.dtype)
 
@@ -217,19 +270,34 @@ class Recommender:
     # Top-K fast path
     # ------------------------------------------------------------------ #
     def topk(self, sequences: Sequence[Sequence[int]], k: int = 10,
-             exclude_seen: bool = True) -> TopKResult:
+             exclude_seen: bool = True, backend: Optional[str] = None) -> TopKResult:
         """Batched top-K recommendations for a batch of request histories.
 
-        One matmul scores the whole batch against the full catalogue;
-        ``np.argpartition`` then extracts the K best candidates per row in
-        O(num_items) instead of the O(num_items log num_items) full sort.
-        Ties are broken towards the smaller item id so the result is identical
-        to :func:`full_sort_topk` (exactly so whenever the K-th best score is
-        unique; a tie straddling the partition boundary may legitimately admit
-        either candidate).
+        With ``backend="exact"`` (the default), one matmul scores the whole
+        batch against the full catalogue; ``np.argpartition`` then extracts
+        the K best candidates per row in O(num_items) instead of the
+        O(num_items log num_items) full sort.  Ties are broken towards the
+        smaller item id so the result is identical to :func:`full_sort_topk`
+        (exactly so whenever the K-th best score is unique; a tie straddling
+        the partition boundary may legitimately admit either candidate).
+
+        With ``backend="ivf"`` / ``"ivfpq"``, warm requests retrieve through
+        the cached :meth:`item_index` instead, scanning only the probed
+        fraction of the catalogue: the index is over-fetched by the history
+        length so that seen-item masking can still drop every history item
+        from the candidates.  Cold requests (and any row the over-fetch
+        cannot fill) transparently use the exact path.  ``backend=None``
+        uses the default chosen at construction.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
+        backend = self.default_backend if backend is None else backend
+        if backend not in SERVING_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SERVING_BACKENDS}, got {backend!r}"
+            )
+        if backend != "exact":
+            return self._topk_with_index(sequences, k, exclude_seen, backend)
         scores, cold = self.score(sequences, exclude_seen=exclude_seen)
         k = min(k, self.num_items)
         candidates = np.argpartition(scores, -k, axis=1)[:, -k:]
@@ -238,6 +306,60 @@ class Recommender:
         items = np.take_along_axis(candidates, order, axis=1)
         top_scores = np.take_along_axis(candidate_scores, order, axis=1)
         return TopKResult(items=items, scores=top_scores, cold=cold)
+
+    def _topk_with_index(self, sequences: Sequence[Sequence[int]], k: int,
+                         exclude_seen: bool, backend: str) -> TopKResult:
+        """ANN retrieval with seen-item masking via over-fetch + filter."""
+        histories, servable, cold = self._classify(sequences)
+        batch_size = len(histories)
+        k = min(k, self.num_items)
+        items = np.full((batch_size, k), -1, dtype=np.int64)
+        scores = np.full((batch_size, k), -np.inf, dtype=self.dtype)
+
+        # Rows the index cannot serve fall back to the exact dense path: cold
+        # rows (their fallback space differs from the indexed matrix) plus
+        # any warm row whose filtered candidates come up short of k.
+        exact_rows = set(int(row) for row in np.flatnonzero(cold))
+        warm_rows = np.flatnonzero(~cold)
+        if warm_rows.size:
+            users = self._encode_warm_rows(servable, warm_rows).astype(
+                self.dtype, copy=False)
+            index = self.item_index(backend)
+            # Each row needs k candidates plus room for its own seen items.
+            # Rows are searched in power-of-two fetch buckets so one long
+            # history does not inflate the candidate buffers of the whole
+            # batch.
+            needed = np.full(warm_rows.size, k, dtype=np.int64)
+            if exclude_seen:
+                needed += np.array([len(histories[row]) for row in warm_rows])
+            buckets = np.minimum(
+                2 ** np.ceil(np.log2(np.maximum(needed, 1))).astype(np.int64),
+                len(index),
+            )
+            for fetch in np.unique(buckets):
+                members = np.flatnonzero(buckets == fetch)
+                candidate_ids, candidate_scores = index.search(
+                    users[members], int(fetch))
+                for local, position in enumerate(members):
+                    row = int(warm_rows[position])
+                    ids_row = candidate_ids[local]
+                    keep = ids_row >= 0
+                    if exclude_seen and histories[row]:
+                        keep &= ~np.isin(ids_row, histories[row])
+                    chosen = np.flatnonzero(keep)[:k]
+                    if chosen.size < k:
+                        exact_rows.add(row)
+                        continue
+                    items[row] = ids_row[chosen]
+                    scores[row] = candidate_scores[local, chosen]
+
+        if exact_rows:
+            rows = sorted(exact_rows)
+            fallback = self.topk([sequences[row] for row in rows], k=k,
+                                 exclude_seen=exclude_seen, backend="exact")
+            items[rows] = fallback.items
+            scores[rows] = fallback.scores
+        return TopKResult(items=items, scores=scores, cold=cold)
 
     # ------------------------------------------------------------------ #
     # Construction helpers

@@ -21,11 +21,13 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..index import ItemIndex, build_index
 from ..whitening import build_whitening
 from ..whitening.base import WhiteningTransform
 from ..whitening.group import GroupSpec
 
 CacheKey = Tuple[str, str, float]
+IndexKey = Tuple[CacheKey, str, Tuple[Tuple[str, str], ...]]
 
 
 class EmbeddingStore:
@@ -53,6 +55,7 @@ class EmbeddingStore:
         self.default_eps = eps
         self._transforms: Dict[CacheKey, WhiteningTransform] = {}
         self._tables: Dict[CacheKey, np.ndarray] = {}
+        self._indexes: Dict[IndexKey, ItemIndex] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -119,6 +122,45 @@ class EmbeddingStore:
             table.setflags(write=False)
             self._tables[key] = table
         return self._tables[key]
+
+    # ------------------------------------------------------------------ #
+    # ANN indexes over whitened tables
+    # ------------------------------------------------------------------ #
+    def index_cache_key(self, kind: str, method: str = "zca",
+                        num_groups: GroupSpec = 1,
+                        eps: Optional[float] = None, **index_params) -> IndexKey:
+        """Hashable key for an index spec, nested inside the whitening key.
+
+        The whitening :meth:`cache_key` identifies the embedding space; the
+        index kind and its (sorted, repr-ed) constructor parameters identify
+        the index built on top of it.
+        """
+        return (
+            self.cache_key(method, num_groups, eps),
+            str(kind).strip().lower(),
+            tuple(sorted((str(name), repr(value))
+                         for name, value in index_params.items())),
+        )
+
+    def index(self, method: str = "zca", num_groups: GroupSpec = 1,
+              eps: Optional[float] = None, kind: str = "ivf",
+              **index_params) -> ItemIndex:
+        """ANN index over a whitened item table, built at most once per spec.
+
+        Mirrors :meth:`whitened`: the first request for a
+        ``(whitening spec, index kind, index params)`` combination builds the
+        index over rows ``1..num_items`` of the whitened table (padding row
+        excluded, item ids preserved) and memoises it; later requests return
+        the same object.
+        """
+        key = self.index_cache_key(kind, method, num_groups, eps, **index_params)
+        if key not in self._indexes:
+            table = self.whitened(method, num_groups, eps)
+            index = build_index(kind, **index_params)
+            index.build(table[1:], ids=np.arange(1, table.shape[0],
+                                                 dtype=np.int64))
+            self._indexes[key] = index
+        return self._indexes[key]
 
     def encode_new_items(self, embeddings: np.ndarray, method: str = "zca",
                          num_groups: GroupSpec = 1,

@@ -366,3 +366,30 @@ class TestServeCLI:
         assert exit_code == 0
         assert "top-5 items" in captured.out
         assert "sequences/second" in captured.out
+
+    def test_serve_with_ann_backend(self, tmp_path, capsys):
+        dataset = load_dataset("arts", scale="tiny", seed=7)
+        features = encode_items(dataset.items, embedding_dim=32, seed=7)
+        config = ModelConfig(hidden_dim=16, num_layers=1, num_heads=2,
+                             max_seq_length=20, seed=7)
+        model = build_model("whitenrec", dataset.num_items,
+                            feature_table=features, config=config)
+        path = save_checkpoint(model, tmp_path / "ann_model",
+                               feature_table=features)
+        exit_code = cli_main([
+            "serve", "arts", "--checkpoint", str(path), "--backend", "ivf",
+            "--requests", "3", "--k", "5", "--repeats", "1",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "backend=ivf" in captured.out
+
+    def test_serve_help_documents_backend_and_k(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "--backend" in help_text
+        assert "{exact,ivf,ivfpq}" in help_text
+        assert "--k" in help_text
+        assert "top-K cut-off" in help_text

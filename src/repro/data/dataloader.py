@@ -59,7 +59,16 @@ def make_batch(examples: Sequence[Tuple[int, List[int], int]],
 
 
 class SequenceDataLoader:
-    """Iterates over training examples in shuffled mini-batches."""
+    """Iterates over training examples in shuffled mini-batches.
+
+    The loader is fully pre-tensorised: every example is left-padded into one
+    ``(n, max_length)`` int64 matrix (plus aligned ``lengths`` / ``targets`` /
+    ``users`` vectors) **once at construction**, and each epoch serves batches
+    by fancy-indexing a shuffled permutation.  The per-epoch python loop over
+    examples (``make_batch`` / ``pad_sequences`` per batch) that the seed
+    implementation paid is gone, and the permutation buffer is allocated once
+    and shuffled in place, so iterating allocates only the batch views.
+    """
 
     def __init__(self, examples: Sequence[Tuple[int, List[int], int]],
                  batch_size: int = 256, max_length: int = 50,
@@ -73,6 +82,14 @@ class SequenceDataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self._rng = np.random.default_rng(seed)
+        self._users = np.asarray([user for user, _, _ in self.examples],
+                                 dtype=np.int64)
+        self._targets = np.asarray([target for _, _, target in self.examples],
+                                   dtype=np.int64)
+        self._item_ids, self._lengths = pad_sequences(
+            [history for _, history, _ in self.examples], max_length
+        )
+        self._order = np.arange(len(self.examples))
 
     def __len__(self) -> int:
         full, remainder = divmod(len(self.examples), self.batch_size)
@@ -81,15 +98,21 @@ class SequenceDataLoader:
         return full
 
     def __iter__(self) -> Iterator[SequenceBatch]:
-        order = np.arange(len(self.examples))
         if self.shuffle:
-            self._rng.shuffle(order)
+            self._rng.shuffle(self._order)
+        # Iterate over a snapshot so a second iterator (which reshuffles the
+        # persistent buffer) cannot corrupt an epoch already in flight.
+        order = self._order.copy()
         for start in range(0, len(order), self.batch_size):
             index = order[start: start + self.batch_size]
             if self.drop_last and len(index) < self.batch_size:
                 break
-            chunk = [self.examples[i] for i in index]
-            yield make_batch(chunk, self.max_length)
+            yield SequenceBatch(
+                item_ids=self._item_ids[index],
+                lengths=self._lengths[index],
+                targets=self._targets[index],
+                users=self._users[index],
+            )
 
 
 def evaluation_batches(cases: Sequence[EvaluationCase], batch_size: int,

@@ -169,6 +169,10 @@ def save_checkpoint(model, path: PathLike,
         "num_items": int(model.num_items),
         "config": _sanitize(dataclasses.asdict(model.config)),
         "build_kwargs": _sanitize(build),
+        # Substrate dtype the model was built with, so load_model rebuilds
+        # under the same precision (a float32-trained model round-trips as
+        # float32 even when the loader runs under the float64 default).
+        "dtype": str(model.dtype),
     }
     if extra:
         metadata["extra"] = _sanitize(extra)
@@ -219,6 +223,7 @@ def load_model(path: Union[PathLike, Checkpoint],
     trainable parameters travel in the checkpoint.
     """
     from ..models import ModelConfig, build_model
+    from ..nn import autocast
 
     checkpoint = path if isinstance(path, Checkpoint) else load_checkpoint(path)
     metadata = checkpoint.metadata
@@ -227,13 +232,14 @@ def load_model(path: Union[PathLike, Checkpoint],
     config_fields = {field.name for field in dataclasses.fields(ModelConfig)}
     config = ModelConfig(**{key: value for key, value in metadata["config"].items()
                             if key in config_fields})
-    model = build_model(
-        metadata["model_name"], metadata["num_items"],
-        feature_table=feature_table,
-        train_sequences=train_sequences,
-        config=config,
-        **metadata.get("build_kwargs", {}),
-    )
+    with autocast(metadata.get("dtype", "float64")):
+        model = build_model(
+            metadata["model_name"], metadata["num_items"],
+            feature_table=feature_table,
+            train_sequences=train_sequences,
+            config=config,
+            **metadata.get("build_kwargs", {}),
+        )
     model.load_state_dict(checkpoint.state)
     model.eval()
     return model

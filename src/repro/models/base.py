@@ -24,7 +24,7 @@ import numpy as np
 from .. import nn
 from ..data.dataloader import SequenceBatch
 from ..nn import functional as F
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, fused_kernels_enabled
 
 
 @dataclass
@@ -104,7 +104,13 @@ class SequentialRecommender(nn.Module):
             )
 
         item_emb = item_matrix.take_rows(item_ids)
-        positions = np.broadcast_to(np.arange(seq_len), (batch_size, seq_len))
+        if fused_kernels_enabled():
+            # 1-D positions broadcast against the batch axis: the position
+            # table gradient then reduces to a (seq, d) sum instead of a
+            # scatter over batch * seq repeated indices.
+            positions = np.arange(seq_len)
+        else:
+            positions = np.broadcast_to(np.arange(seq_len), (batch_size, seq_len))
         position_emb = self.position_embedding(positions)
 
         hidden = item_emb + position_emb
@@ -175,8 +181,9 @@ class SequentialRecommender(nn.Module):
         item_matrix:
             Optional pre-computed ``(num_items + 1, d)`` candidate matrix from
             :meth:`inference_item_matrix`, so repeated calls skip the item
-            encoder.  Must be in the substrate's native float64 precision for
-            the embedding lookup.
+            encoder.  Cast to the model's parameter dtype for the embedding
+            lookup (float64 by default, float32 for models built under
+            ``autocast("float32")``).
         """
         item_ids = np.asarray(item_ids, dtype=np.int64)
         lengths = np.asarray(lengths, dtype=np.int64)
@@ -191,7 +198,10 @@ class SequentialRecommender(nn.Module):
         with nn.no_grad():
             matrix_tensor = None
             if item_matrix is not None:
-                matrix_tensor = Tensor(np.asarray(item_matrix, dtype=np.float64))
+                matrix = np.asarray(item_matrix)
+                if matrix.dtype != self.dtype:
+                    matrix = matrix.astype(self.dtype)
+                matrix_tensor = Tensor(matrix, dtype=matrix.dtype)
             users = self.encode_sequence(batch, item_matrix=matrix_tensor).numpy()
         if was_training:
             self.train()

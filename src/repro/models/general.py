@@ -43,10 +43,11 @@ class _MeanPoolingRecommender(SequentialRecommender):
         # Padding items embed to ~0 (their row is zero for frozen tables and
         # masked below for safety), so a length-normalised sum is mean pooling
         # over the true history.
-        mask = (batch.item_ids != 0).astype(np.float64)[:, :, None]
-        summed = (item_emb * Tensor(mask)).sum(axis=1)
-        lengths = np.maximum(batch.lengths, 1).astype(np.float64)[:, None]
-        return summed * Tensor(1.0 / lengths)
+        dtype = item_emb.data.dtype
+        mask = (batch.item_ids != 0).astype(dtype)[:, :, None]
+        summed = (item_emb * Tensor(mask, dtype=dtype)).sum(axis=1)
+        lengths = np.maximum(batch.lengths, 1).astype(dtype)[:, None]
+        return summed * Tensor(1.0 / lengths, dtype=dtype)
 
 
 class GRCN(_MeanPoolingRecommender):
@@ -152,7 +153,9 @@ class BM3(_MeanPoolingRecommender):
         online = self.predictor(self.view_dropout(targets))
         target_view = self.view_dropout(targets).detach()
         online = F.l2_normalize(online, axis=-1)
-        target_view = F.l2_normalize(Tensor(target_view.data), axis=-1)
+        # target_view is already detached; re-wrapping without a dtype would
+        # upcast a float32 graph to the float64 default.
+        target_view = F.l2_normalize(target_view, axis=-1)
         cosine = (online * target_view).sum(axis=-1)
         return (1.0 - cosine).mean()
 

@@ -40,7 +40,7 @@ class GRUCell(nn.Module):
         update = self.update_gate(combined).sigmoid()
         candidate_input = nn.concatenate([x, hidden * reset], axis=-1)
         candidate = self.candidate(candidate_input).tanh()
-        one = Tensor(np.ones_like(update.data))
+        one = Tensor(np.ones_like(update.data), dtype=update.data.dtype)
         return (one - update) * hidden + update * candidate
 
 
@@ -66,14 +66,16 @@ class GRU4Rec(SequentialRecommender):
         item_emb = item_matrix.take_rows(batch.item_ids)  # (batch, seq, dim)
         batch_size, seq_len = batch.item_ids.shape
 
-        hidden = Tensor(np.zeros((batch_size, self.hidden_dim)))
+        dtype = item_emb.data.dtype
+        hidden = Tensor(np.zeros((batch_size, self.hidden_dim), dtype=dtype),
+                        dtype=dtype)
         for step in range(seq_len):
             x_t = item_emb[:, step, :]
             new_hidden = self.cell(x_t, hidden)
             # Keep the previous hidden state at padded positions so padding
             # does not overwrite real history (sequences are left-padded, so
             # this only matters for the leading positions).
-            is_real = (batch.item_ids[:, step] != 0).astype(np.float64)[:, None]
-            gate = Tensor(is_real)
-            hidden = new_hidden * gate + hidden * Tensor(1.0 - is_real)
+            is_real = (batch.item_ids[:, step] != 0).astype(dtype)[:, None]
+            gate = Tensor(is_real, dtype=dtype)
+            hidden = new_hidden * gate + hidden * Tensor(1.0 - is_real, dtype=dtype)
         return self.output_dropout(hidden)

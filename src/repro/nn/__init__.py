@@ -28,10 +28,29 @@ from .layers import (
 )
 from .module import Module, Parameter
 from .optim import Adam, Optimizer, SGD, clip_grad_norm
-from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack, where
+from .tensor import (
+    Tensor,
+    autocast,
+    concatenate,
+    fused_kernels,
+    fused_kernels_enabled,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+    set_fused_kernels,
+    stack,
+    where,
+)
 
 __all__ = [
     "Adam",
+    "autocast",
+    "fused_kernels",
+    "fused_kernels_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "set_fused_kernels",
     "Dropout",
     "Embedding",
     "FrozenEmbedding",

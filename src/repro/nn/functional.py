@@ -4,6 +4,20 @@ These free functions mirror the parts of ``torch.nn.functional`` that the
 models in this reproduction need: softmax / log-softmax, cross entropy over
 the full item catalogue, layer normalisation, dropout and masking utilities
 for causal self-attention.
+
+The training hot-path ops (softmax, log-softmax, layer norm, cross entropy)
+ship in two equivalent implementations:
+
+* a **fused** kernel (the default) that computes the forward value with
+  ``out=`` ufuncs and backs up the gradient in one or two allocations,
+  reusing saved forward intermediates;
+* a **reference** composition out of primitive :class:`Tensor` ops, kept as
+  the seed-style baseline for benchmarks and for gradient cross-checking.
+
+The forward values of the two paths are bit-identical (the fused kernels
+perform the same floating-point operations in the same order); only the
+backward pass differs in rounding, because the fused gradient is evaluated
+from the closed-form formula instead of the primitive-op chain.
 """
 
 from __future__ import annotations
@@ -12,7 +26,15 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, where
+from .tensor import (
+    Tensor,
+    _unbroadcast,
+    fused_kernels,
+    fused_kernels_enabled,
+    is_grad_enabled,
+    set_fused_kernels,
+    where,
+)
 
 # A large negative value used to mask attention logits.  Using an actual
 # ``-inf`` would produce NaNs when an entire row is masked, so we follow the
@@ -20,18 +42,59 @@ from .tensor import Tensor, where
 MASK_VALUE = -1e9
 
 
-def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+def _softmax_reference(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.data.max(axis=axis, keepdims=True)
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
 
-def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    if not fused_kernels_enabled():
+        return _softmax_reference(x, axis=axis)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    value = shifted
+    out = x._make_child(value, (x,))
+
+    def _backward(grad: np.ndarray) -> None:
+        # dx = p * (g - sum(g * p)); two temporaries.
+        inner = grad * value
+        dx = grad - inner.sum(axis=axis, keepdims=True)
+        dx *= value
+        x._accumulate_owned(dx)
+
+    out._backward = _backward if out.requires_grad else None
+    return out
+
+
+def _log_softmax_reference(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.data.max(axis=axis, keepdims=True)
     log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
     return shifted - log_norm
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    if not fused_kernels_enabled():
+        return _log_softmax_reference(x, axis=axis)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    sum_exp = exps.sum(axis=axis, keepdims=True)
+    shifted -= np.log(sum_exp)
+    out = x._make_child(shifted, (x,))
+
+    def _backward(grad: np.ndarray) -> None:
+        # dx = g - softmax * sum(g); softmax is recovered from the saved
+        # (unnormalised) exponentials instead of re-exponentiating.
+        dx = exps / sum_exp
+        dx *= -grad.sum(axis=axis, keepdims=True)
+        dx += grad
+        x._accumulate_owned(dx)
+
+    out._backward = _backward if out.requires_grad else None
+    return out
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray,
@@ -56,11 +119,11 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
         raise ValueError("cross_entropy expects 2-D logits (batch, num_classes)")
     if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
         raise ValueError("targets must be 1-D and aligned with logits rows")
+    if reduction not in ("none", "sum", "mean"):
+        raise ValueError(f"unknown reduction: {reduction!r}")
 
-    log_probs = log_softmax(logits, axis=-1)
     batch = logits.shape[0]
     rows = np.arange(batch)
-
     if ignore_index is not None:
         keep = targets != ignore_index
         safe_targets = np.where(keep, targets, 0)
@@ -68,28 +131,69 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
         keep = np.ones(batch, dtype=bool)
         safe_targets = targets
 
-    picked = log_probs[rows, safe_targets]
-    mask = Tensor(keep.astype(np.float64))
-    losses = -picked * mask
-
-    if reduction == "none":
-        return losses
-    if reduction == "sum":
-        return losses.sum()
-    if reduction == "mean":
+    if not fused_kernels_enabled():
+        log_probs = log_softmax(logits, axis=-1)
+        picked = log_probs[rows, safe_targets]
+        mask = Tensor(keep.astype(log_probs.data.dtype))
+        losses = -picked * mask
+        if reduction == "none":
+            return losses
+        if reduction == "sum":
+            return losses.sum()
         denom = max(int(keep.sum()), 1)
         return losses.sum() * (1.0 / denom)
-    raise ValueError(f"unknown reduction: {reduction!r}")
+
+    # Fused path: the loss over the full catalogue is the single largest
+    # training allocation site (batch x num_items logits), so the backward
+    # writes (softmax - onehot) * scale into one reused buffer instead of
+    # chaining log-softmax / gather / mask primitives.
+    x = logits.data
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    sum_exp = exps.sum(axis=-1, keepdims=True)
+    log_norm = np.log(sum_exp)
+    keep_f = keep.astype(x.dtype)
+    picked = (shifted[rows, safe_targets] - log_norm[:, 0])
+    losses_arr = -picked * keep_f
+    denom = max(int(keep.sum()), 1)
+
+    if reduction == "none":
+        value = losses_arr
+    elif reduction == "sum":
+        value = losses_arr.sum()
+    else:
+        value = losses_arr.sum() * (1.0 / denom)
+    out = logits._make_child(np.asarray(value), (logits,))
+
+    def _backward(grad: np.ndarray) -> None:
+        # dlogits = scale_i * (softmax_ij - 1[j == t_i]); ``exps`` is turned
+        # into the softmax in place and then scaled row-wise, so the whole
+        # backward costs one extra allocation at most (the copy inside
+        # _accumulate is skipped because we own the buffer).
+        np.divide(exps, sum_exp, out=exps)
+        exps[rows, safe_targets] -= 1.0
+        if reduction == "none":
+            scale = grad * keep_f
+        elif reduction == "sum":
+            scale = float(grad) * keep_f
+        else:
+            scale = (float(grad) / denom) * keep_f
+        np.multiply(exps, scale[:, None], out=exps)
+        logits._accumulate_owned(exps)
+
+    out._backward = _backward if out.requires_grad else None
+    return out
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
                                      reduction: str = "mean") -> Tensor:
     """Numerically stable BCE-with-logits (used by S3-Rec style objectives)."""
-    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    dtype = logits.data.dtype
+    targets_t = Tensor(np.asarray(targets), dtype=dtype)
     # log(1 + exp(-|x|)) + max(x, 0) - x * y
-    abs_neg = Tensor(-np.abs(logits.data))
+    abs_neg = Tensor(-np.abs(logits.data), dtype=dtype)
     log_term = (abs_neg.exp() + 1.0).log()
-    max_term = Tensor(np.maximum(logits.data, 0.0))
+    max_term = Tensor(np.maximum(logits.data, 0.0), dtype=dtype)
     losses = log_term + max_term - logits * targets_t
     if reduction == "none":
         return losses
@@ -100,13 +204,105 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
     raise ValueError(f"unknown reduction: {reduction!r}")
 
 
-def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-12) -> Tensor:
-    """Layer normalisation over the last dimension."""
+def _layer_norm_reference(x: Tensor, weight: Tensor, bias: Tensor,
+                          eps: float = 1e-12) -> Tensor:
     mean = x.mean(axis=-1, keepdims=True)
     centered = x - mean
     var = (centered * centered).mean(axis=-1, keepdims=True)
     normed = centered / (var + eps).sqrt()
     return normed * weight + bias
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight + bias`` with a fused flattened-GEMM kernel.
+
+    For batched inputs (e.g. ``(batch, seq, d)``) numpy's ``matmul`` loops
+    one small GEMM per leading index; the fused kernel reshapes to a single
+    ``(batch * seq, d)`` GEMM — much better BLAS utilisation — adds the bias
+    in place, and computes ``dW = x²ᵀ g²`` / ``db = Σ g²`` as single GEMM /
+    reduction calls in the backward.  The reference path composes
+    ``matmul`` + ``add`` primitives like the seed.
+    """
+    if not fused_kernels_enabled():
+        out = x.matmul(weight)
+        if bias is not None:
+            out = out + bias
+        return out
+
+    xd = x.data
+    in_dim = xd.shape[-1]
+    out_dim = weight.data.shape[-1]
+    x2 = xd.reshape(-1, in_dim)
+    value2 = x2 @ weight.data
+    if bias is not None:
+        value2 += bias.data
+    value = value2.reshape(xd.shape[:-1] + (out_dim,))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(value, requires_grad=requires, dtype=value.dtype)
+    if not requires:
+        return out
+    out._prev = parents
+
+    def _backward(grad: np.ndarray) -> None:
+        g2 = grad.reshape(-1, out_dim)
+        if x.requires_grad:
+            x._accumulate_owned((g2 @ weight.data.T).reshape(xd.shape))
+        if weight.requires_grad:
+            weight._accumulate_owned(x2.T @ g2)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate_owned(g2.sum(axis=0))
+
+    out._backward = _backward
+    return out
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-12) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    if not fused_kernels_enabled():
+        return _layer_norm_reference(x, weight, bias, eps=eps)
+    xd = x.data
+    inv_count = 1.0 / xd.shape[-1]
+    # sum * (1/n) instead of np.mean keeps the values bit-identical to the
+    # reference composition (Tensor.mean is defined as sum * (1/n)).
+    mean = xd.sum(axis=-1, keepdims=True) * inv_count
+    centered = xd - mean
+    var = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
+    std = np.sqrt(var + eps)
+    # Normalise in place: ``centered`` is not needed past this point.
+    centered /= std
+    normed = centered
+    value = normed * weight.data
+    value += bias.data
+
+    parents = (x, weight, bias)
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(value, requires_grad=requires, dtype=value.dtype)
+    if not requires:
+        return out
+    out._prev = parents
+
+    def _backward(grad: np.ndarray) -> None:
+        lead_axes = tuple(range(grad.ndim - 1))
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=lead_axes) if lead_axes else grad)
+        if weight.requires_grad:
+            gn = grad * normed
+            weight._accumulate(gn.sum(axis=lead_axes) if lead_axes else gn)
+        if x.requires_grad:
+            # dx = (ghat - mean(ghat) - normed * mean(ghat * normed)) / std,
+            # evaluated with two full-size temporaries (ghat, gy).
+            ghat = grad * weight.data
+            gy = ghat * normed
+            ghat -= ghat.sum(axis=-1, keepdims=True) * inv_count
+            np.multiply(normed, gy.sum(axis=-1, keepdims=True) * inv_count, out=gy)
+            ghat -= gy
+            ghat /= std
+            x._accumulate_owned(ghat)
+
+    out._backward = _backward
+    return out
 
 
 def dropout(x: Tensor, p: float, training: bool,
@@ -117,14 +313,48 @@ def dropout(x: Tensor, p: float, training: bool,
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     rng = rng or np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
-    return x * Tensor(mask)
+    dtype = x.data.dtype
+    if dtype == np.float32:
+        # Single-precision draws halve the generator work; the float64 path
+        # keeps the historical bit stream.  Both kernel modes consume the
+        # same stream so fused vs reference stays bit-identical per dtype.
+        draws = rng.random(x.shape, dtype=np.float32)
+    else:
+        draws = rng.random(x.shape)
+    if not fused_kernels_enabled():
+        # Seed-style: float mask tensor multiplied through the graph.
+        mask = (draws >= p).astype(dtype) / (1.0 - p)
+        return x * Tensor(mask, dtype=dtype)
+    keep = draws >= p
+    scale = 1.0 / (1.0 - p)
+    value = x.data * keep
+    value *= scale
+    out = x._make_child(value, (x,))
+
+    def _backward(grad: np.ndarray) -> None:
+        dx = grad * keep
+        dx *= scale
+        x._accumulate_owned(dx)
+
+    out._backward = _backward if out.requires_grad else None
+    return out
 
 
 def masked_fill(x: Tensor, mask: np.ndarray, value: float = MASK_VALUE) -> Tensor:
     """Replace entries where ``mask`` is True with ``value``."""
-    fill = Tensor(np.full(x.shape, value))
-    return where(~np.asarray(mask, dtype=bool), x, fill)
+    mask = np.asarray(mask, dtype=bool)
+    if not fused_kernels_enabled():
+        fill = Tensor(np.full(x.shape, value, dtype=x.data.dtype))
+        return where(~mask, x, fill)
+    data = np.where(mask, x.data.dtype.type(value), x.data)
+    out = x._make_child(data, (x,))
+
+    def _backward(grad: np.ndarray) -> None:
+        dx = grad * ~mask
+        x._accumulate_owned(_unbroadcast(dx, x.data.shape))
+
+    out._backward = _backward if out.requires_grad else None
+    return out
 
 
 def causal_mask(seq_len: int) -> np.ndarray:

@@ -14,7 +14,7 @@ import numpy as np
 from . import functional as F
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype
 
 
 class Linear(Module):
@@ -37,10 +37,7 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features), name="linear.bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x.matmul(self.weight)
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return F.linear(x, self.weight, self.bias)
 
 
 class Embedding(Module):
@@ -77,11 +74,14 @@ class FrozenEmbedding(Module):
 
     def __init__(self, table: np.ndarray, padding_idx: Optional[int] = None):
         super().__init__()
-        table = np.asarray(table, dtype=np.float64)
+        # The table follows the substrate's default dtype at construction
+        # time: models built under autocast("float32") store single-precision
+        # features (whitening statistics upstream stay float64).
+        table = np.asarray(table, dtype=get_default_dtype())
         if padding_idx is not None:
             table = table.copy()
             table[padding_idx] = 0.0
-        self._table = Tensor(table, requires_grad=False)
+        self._table = Tensor(table, requires_grad=False, dtype=table.dtype)
         self.num_embeddings, self.embedding_dim = table.shape
         self.padding_idx = padding_idx
 
@@ -93,7 +93,7 @@ class FrozenEmbedding(Module):
 
     def replace_table(self, table: np.ndarray) -> None:
         """Swap in a new feature matrix (used when re-whitening)."""
-        table = np.asarray(table, dtype=np.float64)
+        table = np.asarray(table, dtype=self._table.data.dtype)
         if table.shape != (self.num_embeddings, self.embedding_dim):
             raise ValueError(
                 f"replacement table shape {table.shape} does not match "
@@ -102,7 +102,7 @@ class FrozenEmbedding(Module):
         if self.padding_idx is not None:
             table = table.copy()
             table[self.padding_idx] = 0.0
-        self._table = Tensor(table, requires_grad=False)
+        self._table = Tensor(table, requires_grad=False, dtype=table.dtype)
 
 
 class LayerNorm(Module):

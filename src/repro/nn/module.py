@@ -12,14 +12,18 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype
 
 
 class Parameter(Tensor):
-    """A trainable tensor."""
+    """A trainable tensor.
 
-    def __init__(self, data, name: str = ""):
-        super().__init__(data, requires_grad=True, name=name)
+    Created in the substrate's default dtype unless ``dtype`` is given, so
+    models built under ``autocast("float32")`` train in single precision.
+    """
+
+    def __init__(self, data, name: str = "", dtype=None):
+        super().__init__(data, requires_grad=True, name=name, dtype=dtype)
 
 
 class Module:
@@ -62,6 +66,18 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of trainable scalar parameters."""
         return int(sum(param.size for param in self.parameters()))
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The floating dtype of this module's parameters.
+
+        Modules are homogeneous by construction (all parameters are created
+        under the same default dtype), so the first parameter is
+        representative.  Parameter-less modules report the current default.
+        """
+        for _, param in self.named_parameters():
+            return param.data.dtype
+        return get_default_dtype()
 
     # ------------------------------------------------------------------ #
     # Mode switching
@@ -116,7 +132,9 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: {param.shape} vs {values.shape}"
                 )
-            param.data = values.copy()
+            # The module's dtype wins (torch semantics): loading a float64
+            # checkpoint into a model built under autocast("float32") casts.
+            param.data = values.astype(param.data.dtype, copy=True)
 
     # ------------------------------------------------------------------ #
     # Call protocol

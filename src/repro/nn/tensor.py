@@ -29,10 +29,98 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 #: the output arrays.
 _GRAD_ENABLED = True
 
+#: Global default floating dtype for newly constructed tensors.  float64 is
+#: the substrate's historical default and stays the default: the whitening and
+#: analysis numerics rely on it.  Training can opt into float32 via
+#: :func:`set_default_dtype` or the :class:`autocast` context manager.
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+#: Global switch between the fused hot-path kernels (default) and the
+#: seed-style reference kernels (allocation-per-op, kept for benchmarking the
+#: optimisation and for gradient cross-checks).
+_FUSED_KERNELS = True
+
 
 def is_grad_enabled() -> bool:
     """Whether operations currently record the autodiff graph."""
     return _GRAD_ENABLED
+
+
+def fused_kernels_enabled() -> bool:
+    """Whether the fused training kernels are active."""
+    return _FUSED_KERNELS
+
+
+def set_fused_kernels(enabled: bool) -> bool:
+    """Toggle the fused kernels; returns the previous setting."""
+    global _FUSED_KERNELS
+    previous = _FUSED_KERNELS
+    _FUSED_KERNELS = bool(enabled)
+    return previous
+
+
+class fused_kernels:
+    """Context manager pinning the fused-kernel switch inside a block."""
+
+    def __init__(self, enabled: bool):
+        self._enabled = bool(enabled)
+
+    def __enter__(self) -> "fused_kernels":
+        self._previous = set_fused_kernels(self._enabled)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        set_fused_kernels(self._previous)
+        return False
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are created with when none is given."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the default floating dtype of the substrate.
+
+    Accepts ``np.float32`` / ``np.float64`` (or their string names) and
+    returns the previous default so callers can restore it.  Anything other
+    than those two dtypes is rejected: the autodiff kernels are only
+    maintained for single and double precision.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED_DTYPES:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {resolved}"
+        )
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
+class autocast:
+    """Context manager running a block under a different default dtype.
+
+    ``with nn.autocast("float32"):`` makes every tensor/parameter created in
+    the block single precision, which halves the memory traffic of the
+    training hot path.  The previous default is restored on exit, so the
+    float64 whitening/analysis numerics outside the block are unaffected.
+    Nesting is supported.
+    """
+
+    def __init__(self, dtype="float32"):
+        self._dtype = dtype
+
+    def __enter__(self) -> "autocast":
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        set_default_dtype(self._previous)
+        return False
 
 
 class no_grad:
@@ -56,13 +144,42 @@ class no_grad:
         return False
 
 
-def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
-    """Coerce ``data`` into a numpy array of the requested dtype."""
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``data`` into a numpy array of the requested (or default) dtype."""
+    if dtype is None:
+        dtype = _DEFAULT_DTYPE
     if isinstance(data, np.ndarray):
         if data.dtype == dtype:
             return data
         return data.astype(dtype)
     return np.asarray(data, dtype=dtype)
+
+
+def _scatter_add_rows(full: np.ndarray, indices: np.ndarray,
+                      grad: np.ndarray) -> None:
+    """Accumulate ``grad`` rows into ``full`` at (possibly repeated) ``indices``.
+
+    Sort + ``np.add.reduceat`` segment sums: ~2-3x faster than the unbuffered
+    ``np.ufunc.at`` scatter for the embedding-gradient shapes the models
+    produce (thousands of lookups into a few hundred rows).
+    """
+    if indices.size == 0:
+        return
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    sorted_grad = grad[order]
+    starts = np.flatnonzero(sorted_idx[1:] != sorted_idx[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=starts.dtype), starts))
+    full[sorted_idx[starts]] = np.add.reduceat(sorted_grad, starts, axis=0)
+
+
+def _is_basic_index(index) -> bool:
+    """True when ``index`` uses only basic (non-repeating) numpy indexing."""
+    items = index if isinstance(index, tuple) else (index,)
+    return all(
+        isinstance(item, (int, np.integer, slice)) or item is Ellipsis or item is None
+        for item in items
+    )
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -91,9 +208,10 @@ class Tensor:
     Parameters
     ----------
     data:
-        The underlying values.  Stored as ``float64`` for numerical fidelity
-        (the datasets in this reproduction are small, so memory is not a
-        concern).
+        The underlying values.  Stored in the substrate's default dtype
+        (``float64`` unless changed via :func:`set_default_dtype` /
+        :class:`autocast`); float64 keeps the whitening/analysis numerics
+        exact, float32 halves training memory traffic.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
@@ -102,7 +220,7 @@ class Tensor:
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = "",
-                 dtype=np.float64):
+                 dtype=None):
         self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
@@ -149,7 +267,8 @@ class Tensor:
         return Tensor(self.data.astype(dtype, copy=False), dtype=dtype)
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad,
+                      dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -170,6 +289,17 @@ class Tensor:
             return other
         return Tensor(other)
 
+    def _coerce(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Wrap a non-tensor operand in this tensor's dtype.
+
+        Binary ops coerce scalars/arrays to the dtype of the tensor operand
+        (not the global default), so a float32 graph stays float32 even when
+        the surrounding code runs under the float64 default.
+        """
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(other, dtype=self.data.dtype)
+
     def _make_child(self, data: np.ndarray, parents: Iterable["Tensor"]) -> "Tensor":
         parents = tuple(parents)
         requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
@@ -183,8 +313,29 @@ class Tensor:
             return
         if self.grad is None:
             self.grad = grad.copy()
+        elif _FUSED_KERNELS:
+            self.grad += grad
         else:
+            # Seed-style: allocate a fresh sum (the reference baseline).
             self.grad = self.grad + grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient buffer the caller owns (fused kernels).
+
+        Skips the defensive copy of :meth:`_accumulate`: the buffer must be a
+        freshly allocated array that the caller will not reuse.  In reference
+        mode this falls back to the copying :meth:`_accumulate` so the
+        seed-style baseline keeps its original allocation behaviour.
+        """
+        if not self.requires_grad:
+            return
+        if not _FUSED_KERNELS:
+            self._accumulate(grad)
+            return
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad += grad
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Back-propagate through the recorded graph starting from ``self``.
@@ -197,7 +348,9 @@ class Tensor:
                 raise ValueError("backward() without a gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
         else:
-            grad = _as_array(grad)
+            # Seed gradients follow this tensor's dtype, not the global
+            # default, so float32 graphs stay float32.
+            grad = _as_array(grad, dtype=self.data.dtype)
 
         # Topological order of the graph reachable from self.
         topo: list[Tensor] = []
@@ -225,12 +378,20 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data + other.data, (self, other))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(grad, other.shape))
+            if not _FUSED_KERNELS:
+                self._accumulate(_unbroadcast(grad, self.shape))
+                other._accumulate(_unbroadcast(grad, other.shape))
+                return
+            if self.requires_grad:
+                ga = _unbroadcast(grad, self.shape)
+                (self._accumulate if ga is grad else self._accumulate_owned)(ga)
+            if other.requires_grad:
+                gb = _unbroadcast(grad, other.shape)
+                (other._accumulate if gb is grad else other._accumulate_owned)(gb)
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -242,32 +403,45 @@ class Tensor:
         out = self._make_child(-self.data, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate_owned(-grad)
 
         out._backward = _backward if out.requires_grad else None
         return out
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data - other.data, (self, other))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(-grad, other.shape))
+            if not _FUSED_KERNELS:
+                self._accumulate(_unbroadcast(grad, self.shape))
+                other._accumulate(_unbroadcast(-grad, other.shape))
+                return
+            if self.requires_grad:
+                ga = _unbroadcast(grad, self.shape)
+                (self._accumulate if ga is grad else self._accumulate_owned)(ga)
+            if other.requires_grad:
+                other._accumulate_owned(_unbroadcast(-grad, other.shape))
 
         out._backward = _backward if out.requires_grad else None
         return out
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return self._ensure_tensor(other).__sub__(self)
+        return self._coerce(other).__sub__(self)
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data * other.data, (self, other))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+            if not _FUSED_KERNELS:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                return
+            if self.requires_grad:
+                self._accumulate_owned(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate_owned(_unbroadcast(grad * self.data, other.shape))
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -276,20 +450,28 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data / other.data, (self, other))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.shape))
-            other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
-            )
+            if not _FUSED_KERNELS:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
+                return
+            if self.requires_grad:
+                self._accumulate_owned(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate_owned(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
 
         out._backward = _backward if out.requires_grad else None
         return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return self._ensure_tensor(other).__truediv__(self)
+        return self._coerce(other).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -297,7 +479,7 @@ class Tensor:
         out = self._make_child(self.data ** exponent, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate_owned(grad * exponent * self.data ** (exponent - 1))
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -307,36 +489,50 @@ class Tensor:
 
     def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         """Matrix multiplication supporting batched operands."""
-        other = self._ensure_tensor(other)
+        other = self._coerce(other)
         out = self._make_child(self.data @ other.data, (self, other))
 
         def _backward(grad: np.ndarray) -> None:
             a, b = self.data, other.data
             if a.ndim == 1 and b.ndim == 1:
                 # inner product
-                self._accumulate(grad * b)
-                other._accumulate(grad * a)
+                if self.requires_grad:
+                    self._accumulate_owned(grad * b)
+                if other.requires_grad:
+                    other._accumulate_owned(grad * a)
                 return
             if a.ndim == 1:
                 a_mat = a.reshape(1, -1)
                 grad_mat = np.expand_dims(grad, axis=-2)
-                ga = (grad_mat @ np.swapaxes(b, -1, -2)).reshape(a.shape)
-                gb = np.swapaxes(a_mat, -1, -2) @ grad_mat
-                self._accumulate(_unbroadcast(ga, self.shape))
-                other._accumulate(_unbroadcast(gb, other.shape))
+                if self.requires_grad:
+                    ga = (grad_mat @ np.swapaxes(b, -1, -2)).reshape(a.shape)
+                    self._accumulate_owned(_unbroadcast(ga, self.shape))
+                if other.requires_grad:
+                    gb = np.swapaxes(a_mat, -1, -2) @ grad_mat
+                    other._accumulate_owned(_unbroadcast(gb, other.shape))
                 return
             if b.ndim == 1:
                 b_mat = b.reshape(-1, 1)
                 grad_mat = np.expand_dims(grad, axis=-1)
-                ga = grad_mat @ np.swapaxes(b_mat, -1, -2)
-                gb = (np.swapaxes(a, -1, -2) @ grad_mat).reshape(b.shape)
-                self._accumulate(_unbroadcast(ga, self.shape))
-                other._accumulate(_unbroadcast(np.sum(gb, axis=tuple(range(gb.ndim - 1))) if gb.ndim > 1 else gb, other.shape))
+                if self.requires_grad:
+                    ga = grad_mat @ np.swapaxes(b_mat, -1, -2)
+                    self._accumulate_owned(_unbroadcast(ga, self.shape))
+                if other.requires_grad:
+                    gb = (np.swapaxes(a, -1, -2) @ grad_mat).reshape(b.shape)
+                    other._accumulate_owned(_unbroadcast(np.sum(gb, axis=tuple(range(gb.ndim - 1))) if gb.ndim > 1 else gb, other.shape))
                 return
-            ga = grad @ np.swapaxes(b, -1, -2)
-            gb = np.swapaxes(a, -1, -2) @ grad
-            self._accumulate(_unbroadcast(ga, self.shape))
-            other._accumulate(_unbroadcast(gb, other.shape))
+            if not _FUSED_KERNELS:
+                ga = grad @ np.swapaxes(b, -1, -2)
+                gb = np.swapaxes(a, -1, -2) @ grad
+                self._accumulate(_unbroadcast(ga, self.shape))
+                other._accumulate(_unbroadcast(gb, other.shape))
+                return
+            if self.requires_grad:
+                ga = grad @ np.swapaxes(b, -1, -2)
+                self._accumulate_owned(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                gb = np.swapaxes(a, -1, -2) @ grad
+                other._accumulate_owned(_unbroadcast(gb, other.shape))
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -349,7 +545,7 @@ class Tensor:
         out = self._make_child(value, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * value)
+            self._accumulate_owned(grad * value)
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -358,7 +554,7 @@ class Tensor:
         out = self._make_child(np.log(self.data), (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            self._accumulate_owned(grad / self.data)
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -368,7 +564,7 @@ class Tensor:
         out = self._make_child(value, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / value)
+            self._accumulate_owned(grad * 0.5 / value)
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -378,7 +574,7 @@ class Tensor:
         out = self._make_child(value, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - value ** 2))
+            self._accumulate_owned(grad * (1.0 - value ** 2))
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -388,7 +584,7 @@ class Tensor:
         out = self._make_child(value, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * value * (1.0 - value))
+            self._accumulate_owned(grad * value * (1.0 - value))
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -398,7 +594,7 @@ class Tensor:
         out = self._make_child(self.data * mask, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate_owned(grad * mask)
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -407,18 +603,52 @@ class Tensor:
         """Gaussian Error Linear Unit (tanh approximation)."""
         x = self.data
         c = np.sqrt(2.0 / np.pi)
-        # x * x * x instead of x ** 3: np.power with a float64 base goes
-        # through pow() and dominates the transformer forward pass otherwise.
-        inner = c * (x + 0.044715 * (x * x * x))
-        t = np.tanh(inner)
-        value = 0.5 * x * (1.0 + t)
+        if _FUSED_KERNELS:
+            # Same math as the reference chain below, evaluated through two
+            # buffers with out= ufuncs (the op is memory-bound).
+            t = np.multiply(x, x)
+            t *= x
+            t *= 0.044715
+            t += x
+            t *= c
+            np.tanh(t, out=t)
+            value = 1.0 + t
+            value *= x
+            value *= 0.5
+        else:
+            # x * x * x instead of x ** 3: np.power with a float64 base goes
+            # through pow() and dominates the transformer forward pass
+            # otherwise.
+            inner = c * (x + 0.044715 * (x * x * x))
+            t = np.tanh(inner)
+            value = 0.5 * x * (1.0 + t)
         out = self._make_child(value, (self,))
 
         def _backward(grad: np.ndarray) -> None:
-            dinner = c * (1.0 + 3 * 0.044715 * (x * x))
-            dt = (1.0 - t * t) * dinner
-            dvalue = 0.5 * (1.0 + t) + 0.5 * x * dt
-            self._accumulate(grad * dvalue)
+            if not _FUSED_KERNELS:
+                # Seed-style chain of broadcast temporaries.
+                dinner = c * (1.0 + 3 * 0.044715 * (x * x))
+                dt = (1.0 - t * t) * dinner
+                dvalue = 0.5 * (1.0 + t) + 0.5 * x * dt
+                self._accumulate(grad * dvalue)
+                return
+            # Fused: two temporaries instead of the ~10 broadcast temporaries
+            # of the naive chain.  dvalue = 0.5 * ((1 + t) + x * dt) where
+            # dt = (1 - t^2) * c * (1 + 3 * 0.044715 * x^2); ``t`` is the
+            # saved forward tanh, nothing is recomputed.
+            dinner = np.multiply(x, x)
+            dinner *= 3.0 * 0.044715
+            dinner += 1.0
+            dinner *= c
+            dt = np.multiply(t, t)
+            np.subtract(1.0, dt, out=dt)
+            dt *= dinner
+            dt *= x
+            dt += t
+            dt += 1.0
+            dt *= 0.5
+            dt *= grad
+            self._accumulate_owned(dt)
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -435,7 +665,7 @@ class Tensor:
                 axes = axis if isinstance(axis, tuple) else (axis,)
                 axes = tuple(a % self.ndim for a in axes)
                 g = np.expand_dims(g, axis=axes)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            self._accumulate_owned(np.broadcast_to(g, self.shape).copy())
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -457,13 +687,13 @@ class Tensor:
             if axis is None:
                 mask = (self.data == value).astype(self.data.dtype)
                 mask /= mask.sum()
-                self._accumulate(grad * mask)
+                self._accumulate_owned(grad * mask)
                 return
             expanded = value if keepdims else np.expand_dims(value, axis=axis)
             g = grad if keepdims else np.expand_dims(grad, axis=axis)
             mask = (self.data == expanded).astype(self.data.dtype)
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
-            self._accumulate(g * mask)
+            self._accumulate_owned(g * mask)
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -507,8 +737,13 @@ class Tensor:
 
         def _backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
+            if _FUSED_KERNELS and _is_basic_index(index):
+                # Basic indexing never selects an element twice, so the
+                # scatter-add collapses to a plain assignment.
+                full[index] = grad
+            else:
+                np.add.at(full, index, grad)
+            self._accumulate_owned(full)
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -524,8 +759,12 @@ class Tensor:
 
         def _backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, indices.reshape(-1), grad.reshape(-1, self.data.shape[-1]))
-            self._accumulate(full)
+            flat_grad = grad.reshape(-1, self.data.shape[-1])
+            if _FUSED_KERNELS:
+                _scatter_add_rows(full, indices.reshape(-1), flat_grad)
+            else:
+                np.add.at(full, indices.reshape(-1), flat_grad)
+            self._accumulate_owned(full)
 
         out._backward = _backward if out.requires_grad else None
         return out
@@ -591,6 +830,10 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select: ``condition ? a : b`` with gradient support."""
+    if isinstance(a, Tensor) and not isinstance(b, Tensor):
+        b = a._coerce(b)
+    elif isinstance(b, Tensor) and not isinstance(a, Tensor):
+        a = b._coerce(a)
     a = Tensor._ensure_tensor(a)
     b = Tensor._ensure_tensor(b)
     condition = np.asarray(condition, dtype=bool)

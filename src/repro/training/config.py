@@ -31,3 +31,6 @@ class TrainingConfig:
     track_condition_number: bool = False
     track_alignment_uniformity: bool = False
     verbose: bool = False
+    #: dtype of the full-catalogue scoring matmul during validation/test
+    #: ("float32" default — half the memory traffic; None = model precision).
+    eval_score_dtype: Optional[str] = "float32"

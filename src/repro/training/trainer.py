@@ -119,11 +119,13 @@ class Trainer:
         return total_loss
 
     def evaluate(self, cases: Sequence[EvaluationCase]) -> Dict[str, float]:
+        score_dtype = self.config.eval_score_dtype
         return evaluate_model(
             self.model, cases,
             ks=self.config.metric_ks,
             batch_size=self.config.eval_batch_size,
             max_sequence_length=self.config.max_sequence_length,
+            score_dtype=None if score_dtype is None else np.dtype(score_dtype),
         )
 
     def fit(self) -> TrainingResult:

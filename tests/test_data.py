@@ -303,6 +303,54 @@ class TestDataloader:
         with pytest.raises(ValueError):
             SequenceDataLoader([], batch_size=0)
 
+    def test_dataloader_batches_match_make_batch(self):
+        """The pre-padded fast path serves the exact arrays make_batch built."""
+        examples = [(u, list(range(1, u + 2)), u + 1) for u in range(7)]
+        loader = SequenceDataLoader(examples, batch_size=3, max_length=4,
+                                    shuffle=False)
+        for start, batch in zip(range(0, 7, 3), loader):
+            reference = make_batch(examples[start: start + 3], max_length=4)
+            np.testing.assert_array_equal(batch.item_ids, reference.item_ids)
+            np.testing.assert_array_equal(batch.lengths, reference.lengths)
+            np.testing.assert_array_equal(batch.targets, reference.targets)
+            np.testing.assert_array_equal(batch.users, reference.users)
+
+    def test_dataloader_reuses_permutation_buffer(self):
+        examples = [(u, [1], 2) for u in range(10)]
+        loader = SequenceDataLoader(examples, batch_size=4, max_length=2, seed=3)
+        buffer = loader._order
+        first = [batch.users.copy() for batch in loader]
+        assert loader._order is buffer  # shuffled in place, not re-allocated
+        second = [batch.users.copy() for batch in loader]
+        # Different epoch order, same example set.
+        assert not all(np.array_equal(a, b) for a, b in zip(first, second))
+        assert sorted(np.concatenate(first)) == sorted(np.concatenate(second))
+
+    def test_dataloader_drop_last_empty_tail(self):
+        """drop_last with an exact multiple must not drop (or add) a batch."""
+        examples = [(u, [1], 2) for u in range(9)]
+        loader = SequenceDataLoader(examples, batch_size=3, max_length=2,
+                                    drop_last=True, seed=0)
+        batches = list(loader)
+        assert len(batches) == len(loader) == 3
+        assert all(len(batch) == 3 for batch in batches)
+
+    def test_dataloader_empty_examples(self):
+        loader = SequenceDataLoader([], batch_size=4, max_length=3)
+        assert len(loader) == 0
+        assert list(loader) == []
+
+    def test_dataloader_concurrent_iterators_see_complete_epochs(self):
+        """A second iterator's reshuffle must not corrupt one in flight."""
+        examples = [(u, [1], 2) for u in range(10)]
+        loader = SequenceDataLoader(examples, batch_size=2, max_length=2, seed=0)
+        first = iter(loader)
+        seen = [next(first).users]
+        second = list(loader)  # reshuffles the persistent buffer mid-epoch
+        seen.extend(batch.users for batch in first)
+        assert sorted(np.concatenate(seen)) == list(range(10))
+        assert sorted(np.concatenate([b.users for b in second])) == list(range(10))
+
     def test_evaluation_batches(self, tiny_split):
         total = 0
         for batch in evaluation_batches(tiny_split.test, batch_size=32, max_length=10):

@@ -1,0 +1,430 @@
+"""Tests for the dtype policy, fused kernels and in-place optimiser contract.
+
+Covers the float32 training substrate introduced with the hot-path overhaul:
+``set_default_dtype`` / ``autocast`` semantics, fused-vs-reference kernel
+agreement (bit-identical forward, gradients equal to tight tolerance),
+float32-vs-float64 gradient agreement on a real SASRec step, dtype-preserving
+checkpoints and the float32 evaluation fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.data.dataloader import make_batch
+from repro.models import ModelConfig, build_model
+from repro.training.evaluation import evaluate_model, target_ranks
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_modes():
+    """Every test leaves the substrate in its default configuration."""
+    yield
+    nn.set_default_dtype(np.float64)
+    F.set_fused_kernels(True)
+
+
+def small_batch(max_length: int = 8):
+    examples = [(1, [1, 2, 3], 4), (2, [2, 3], 1), (3, [4, 1, 2, 3], 2)]
+    return make_batch(examples, max_length=max_length)
+
+
+def build_sasrec(num_items: int = 6, seed: int = 0):
+    config = ModelConfig(hidden_dim=8, num_layers=1, num_heads=2,
+                         dropout=0.0, max_seq_length=8, seed=seed)
+    return build_model("sasrec_id", num_items, config=config)
+
+
+# ---------------------------------------------------------------------- #
+# Default dtype / autocast
+# ---------------------------------------------------------------------- #
+class TestDtypePolicy:
+    def test_default_is_float64(self):
+        assert nn.get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_set_default_dtype_round_trip(self):
+        previous = nn.set_default_dtype("float32")
+        assert previous == np.float64
+        assert Tensor([1.0]).dtype == np.float32
+        assert nn.Parameter(np.zeros(3)).dtype == np.float32
+        restored = nn.set_default_dtype(previous)
+        assert restored == np.float32
+        assert Tensor([1.0]).dtype == np.float64
+
+    def test_set_default_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            nn.set_default_dtype(np.int64)
+        with pytest.raises(ValueError):
+            nn.set_default_dtype("float16")
+
+    def test_autocast_restores_on_exit(self):
+        with nn.autocast("float32"):
+            assert nn.get_default_dtype() == np.float32
+        assert nn.get_default_dtype() == np.float64
+
+    def test_autocast_nesting(self):
+        with nn.autocast("float32"):
+            with nn.autocast(np.float64):
+                assert Tensor([1.0]).dtype == np.float64
+            assert Tensor([1.0]).dtype == np.float32
+        assert nn.get_default_dtype() == np.float64
+
+    def test_no_grad_nesting(self):
+        assert nn.is_grad_enabled()
+        with nn.no_grad():
+            assert not nn.is_grad_enabled()
+            with nn.no_grad():
+                assert not nn.is_grad_enabled()
+            # Restoring the inner context must not re-enable gradients early.
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_ops_follow_operand_dtype_not_global_default(self):
+        with nn.autocast("float32"):
+            x = Tensor(np.arange(4.0), requires_grad=True)
+        # Outside the autocast block the default is float64 again; mixing a
+        # python scalar or a float64 array in must not upcast the graph.
+        y = ((x * 2.0 + np.ones(4)) / 3.0 - 0.5).gelu()
+        assert y.dtype == np.float32
+        y.sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_model_built_under_autocast_is_float32(self):
+        with nn.autocast("float32"):
+            model = build_sasrec()
+        assert model.dtype == np.float32
+        assert all(p.dtype == np.float32 for p in model.parameters())
+        loss = model.loss(small_batch())
+        assert loss.dtype == np.float32
+        loss.backward()
+        assert all(p.grad is None or p.grad.dtype == np.float32
+                   for p in model.parameters())
+
+    def test_bm3_auxiliary_loss_stays_float32(self):
+        """The BYOL-style bootstrap branch must not re-wrap into float64."""
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((7, 8))
+        features[0] = 0.0
+        config = ModelConfig(hidden_dim=8, num_layers=1, num_heads=2,
+                             dropout=0.1, max_seq_length=8, seed=0)
+        with nn.autocast("float32"):
+            model = build_model("bm3", 6, feature_table=features, config=config)
+        loss = model.loss(small_batch())
+        assert loss.dtype == np.float32
+
+
+# ---------------------------------------------------------------------- #
+# Fused vs reference kernels
+# ---------------------------------------------------------------------- #
+class TestFusedKernels:
+    def test_switch_round_trip(self):
+        assert F.fused_kernels_enabled()
+        with F.fused_kernels(False):
+            assert not F.fused_kernels_enabled()
+            with F.fused_kernels(True):
+                assert F.fused_kernels_enabled()
+            assert not F.fused_kernels_enabled()
+        assert F.fused_kernels_enabled()
+
+    @pytest.mark.parametrize("op", ["softmax", "log_softmax"])
+    def test_softmax_family_matches_reference(self, op):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((4, 3, 5))
+        grads = {}
+        values = {}
+        for fused in (True, False):
+            with F.fused_kernels(fused):
+                x = Tensor(data.copy(), requires_grad=True)
+                out = getattr(F, op)(x, axis=-1)
+                (out * Tensor(np.arange(5.0))).sum().backward()
+                values[fused] = out.data.copy()
+                grads[fused] = x.grad.copy()
+        np.testing.assert_array_equal(values[True], values[False])
+        np.testing.assert_allclose(grads[True], grads[False], rtol=1e-12,
+                                   atol=1e-14)
+
+    def test_layer_norm_matches_reference(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((6, 7))
+        weight_values = rng.standard_normal(7)
+        results = {}
+        for fused in (True, False):
+            with F.fused_kernels(fused):
+                x = Tensor(data.copy(), requires_grad=True)
+                weight = nn.Parameter(weight_values.copy())
+                bias = nn.Parameter(np.arange(7.0))
+                out = F.layer_norm(x, weight, bias)
+                (out * out).sum().backward()
+                results[fused] = (out.data.copy(), x.grad.copy(),
+                                  weight.grad.copy(), bias.grad.copy())
+        for fused_part, ref_part in zip(results[True], results[False]):
+            np.testing.assert_allclose(fused_part, ref_part, rtol=1e-12,
+                                       atol=1e-12)
+        np.testing.assert_array_equal(results[True][0], results[False][0])
+
+    @pytest.mark.parametrize("reduction", ["mean", "sum", "none"])
+    @pytest.mark.parametrize("ignore_index", [None, 0])
+    def test_cross_entropy_matches_reference(self, reduction, ignore_index):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((5, 9))
+        targets = np.array([1, 0, 3, 8, 2])
+        results = {}
+        for fused in (True, False):
+            with F.fused_kernels(fused):
+                logits = Tensor(data.copy(), requires_grad=True)
+                loss = F.cross_entropy(logits, targets, reduction=reduction,
+                                       ignore_index=ignore_index)
+                if reduction == "none":
+                    (loss * Tensor(np.arange(1.0, 6.0))).sum().backward()
+                else:
+                    loss.backward()
+                results[fused] = (np.asarray(loss.data).copy(),
+                                  logits.grad.copy())
+        np.testing.assert_array_equal(results[True][0], results[False][0])
+        np.testing.assert_allclose(results[True][1], results[False][1],
+                                   rtol=1e-12, atol=1e-14)
+
+    def test_gelu_matches_reference(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((4, 6)) * 2.0
+        results = {}
+        for fused in (True, False):
+            with F.fused_kernels(fused):
+                x = Tensor(data.copy(), requires_grad=True)
+                out = x.gelu()
+                out.sum().backward()
+                results[fused] = (out.data.copy(), x.grad.copy())
+        np.testing.assert_array_equal(results[True][0], results[False][0])
+        np.testing.assert_allclose(results[True][1], results[False][1],
+                                   rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_dropout_matches_reference(self, dtype):
+        """Fused and reference dropout share one RNG stream per dtype."""
+        data = np.random.default_rng(4).standard_normal((8, 8)).astype(dtype)
+        results = {}
+        for fused in (True, False):
+            with F.fused_kernels(fused):
+                x = Tensor(data.copy(), requires_grad=True, dtype=dtype)
+                out = F.dropout(x, p=0.4, training=True,
+                                rng=np.random.default_rng(7))
+                out.sum().backward()
+                results[fused] = (out.data.copy(), x.grad.copy())
+        np.testing.assert_array_equal(results[True][0], results[False][0])
+        np.testing.assert_array_equal(results[True][1], results[False][1])
+
+    def test_masked_fill_matches_reference(self):
+        data = np.random.default_rng(5).standard_normal((3, 4))
+        mask = np.array([[True, False, False, True]] * 3)
+        results = {}
+        for fused in (True, False):
+            with F.fused_kernels(fused):
+                x = Tensor(data.copy(), requires_grad=True)
+                out = F.masked_fill(x, mask)
+                out.sum().backward()
+                results[fused] = (out.data.copy(), x.grad.copy())
+        np.testing.assert_array_equal(results[True][0], results[False][0])
+        np.testing.assert_array_equal(results[True][1], results[False][1])
+
+    def test_linear_matches_reference(self):
+        rng = np.random.default_rng(6)
+        data = rng.standard_normal((3, 5, 4))
+        results = {}
+        for fused in (True, False):
+            with F.fused_kernels(fused):
+                x = Tensor(data.copy(), requires_grad=True)
+                weight = nn.Parameter(np.arange(8.0).reshape(4, 2) / 7.0)
+                bias = nn.Parameter(np.array([0.5, -0.25]))
+                out = F.linear(x, weight, bias)
+                (out * out).sum().backward()
+                results[fused] = (out.data.copy(), x.grad.copy(),
+                                  weight.grad.copy(), bias.grad.copy())
+        for fused_part, ref_part in zip(results[True], results[False]):
+            np.testing.assert_allclose(fused_part, ref_part, rtol=1e-12,
+                                       atol=1e-12)
+
+    def test_full_model_loss_bit_identical_across_modes(self):
+        """Fused kernels change only the backward rounding, never the value."""
+        batch = small_batch()
+        losses = {}
+        for fused in (True, False):
+            with F.fused_kernels(fused):
+                model = build_sasrec(seed=11)
+                losses[fused] = model.loss(batch).item()
+        assert losses[True] == losses[False]
+
+
+# ---------------------------------------------------------------------- #
+# float32 vs float64 gradients on a real model step
+# ---------------------------------------------------------------------- #
+class TestFloat32Gradients:
+    def test_sasrec_step_gradients_agree_across_precisions(self):
+        batch = small_batch()
+        grads = {}
+        losses = {}
+        for dtype in ("float64", "float32"):
+            with nn.autocast(dtype):
+                model = build_sasrec(seed=5)
+            loss = model.loss(batch)
+            loss.backward()
+            losses[dtype] = loss.item()
+            grads[dtype] = {name: param.grad.copy() if param.grad is not None
+                            else None
+                            for name, param in model.named_parameters()}
+        assert losses["float32"] == pytest.approx(losses["float64"], rel=1e-5)
+        for name, reference in grads["float64"].items():
+            result = grads["float32"][name]
+            if reference is None:
+                assert result is None
+                continue
+            np.testing.assert_allclose(
+                result, reference, rtol=1e-4, atol=1e-5,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Optimisers: fused in-place kernels
+# ---------------------------------------------------------------------- #
+class TestFusedOptimizers:
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.1])
+    def test_adam_fused_matches_reference(self, weight_decay):
+        rng = np.random.default_rng(0)
+        start = rng.standard_normal((4, 3))
+        params = {}
+        for fused in (True, False):
+            param = nn.Parameter(start.copy())
+            optimizer = nn.Adam([param], lr=0.05, weight_decay=weight_decay,
+                                fused=fused)
+            for step in range(5):
+                param.grad = np.full_like(param.data, 0.5) * (step + 1)
+                optimizer.step()
+            params[fused] = param.data
+        np.testing.assert_array_equal(params[True], params[False])
+
+    @pytest.mark.parametrize("momentum,weight_decay",
+                             [(0.0, 0.0), (0.9, 0.0), (0.9, 0.05)])
+    def test_sgd_fused_matches_reference(self, momentum, weight_decay):
+        start = np.arange(6.0).reshape(2, 3)
+        params = {}
+        for fused in (True, False):
+            param = nn.Parameter(start.copy())
+            optimizer = nn.SGD([param], lr=0.1, momentum=momentum,
+                               weight_decay=weight_decay, fused=fused)
+            for _ in range(4):
+                param.grad = np.ones_like(param.data)
+                optimizer.step()
+            params[fused] = param.data
+        np.testing.assert_array_equal(params[True], params[False])
+
+    def test_fused_step_updates_param_in_place(self):
+        param = nn.Parameter(np.ones(4))
+        buffer = param.data
+        optimizer = nn.Adam([param], lr=0.1)
+        param.grad = np.ones(4)
+        optimizer.step()
+        assert param.data is buffer  # in-place contract
+
+    def test_clip_grad_norm_in_place_and_single_pass(self):
+        param = nn.Parameter(np.zeros(4))
+        param.grad = np.array([3.0, 0.0, 4.0, 0.0])
+        buffer = param.grad
+        total = nn.clip_grad_norm([param], max_norm=1.0)
+        assert total == pytest.approx(5.0)
+        assert param.grad is buffer  # scaled in place, not rebound
+        np.testing.assert_allclose(param.grad, [0.6, 0.0, 0.8, 0.0])
+
+    def test_clip_grad_norm_below_threshold_untouched(self):
+        param = nn.Parameter(np.zeros(2))
+        param.grad = np.array([0.3, 0.4])
+        total = nn.clip_grad_norm([param], max_norm=1.0)
+        assert total == pytest.approx(0.5)
+        np.testing.assert_array_equal(param.grad, [0.3, 0.4])
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoints preserve dtype
+# ---------------------------------------------------------------------- #
+class TestCheckpointDtype:
+    def test_float32_checkpoint_round_trip(self, tmp_path):
+        from repro.experiments.persistence import (load_model,
+                                                   save_checkpoint)
+
+        with nn.autocast("float32"):
+            model = build_sasrec(seed=9)
+        path = save_checkpoint(model, tmp_path / "model.npz")
+        # Loading runs under the (float64) default; the checkpoint dtype must
+        # win and the global default must be untouched afterwards.
+        restored = load_model(path)
+        assert nn.get_default_dtype() == np.float64
+        assert restored.dtype == np.float32
+        for (name, original), (_, loaded) in zip(
+            sorted(model.named_parameters()),
+            sorted(restored.named_parameters()),
+        ):
+            assert loaded.dtype == np.float32, name
+            np.testing.assert_array_equal(loaded.data, original.data)
+
+    def test_float64_checkpoint_unchanged(self, tmp_path):
+        from repro.experiments.persistence import (load_checkpoint,
+                                                   load_model,
+                                                   save_checkpoint)
+
+        model = build_sasrec(seed=9)
+        path = save_checkpoint(model, tmp_path / "model.npz")
+        assert load_checkpoint(path).metadata["dtype"] == "float64"
+        assert load_model(path).dtype == np.float64
+
+
+# ---------------------------------------------------------------------- #
+# Evaluation fast path
+# ---------------------------------------------------------------------- #
+class TestEvaluationFastPath:
+    def _cases(self, num_items=6):
+        from repro.data.splits import EvaluationCase
+
+        rng = np.random.default_rng(0)
+        cases = []
+        for user in range(24):
+            history = list(rng.integers(1, num_items + 1,
+                                        size=rng.integers(1, 6)))
+            cases.append(EvaluationCase(
+                user_id=user, history=history,
+                target=int(rng.integers(1, num_items + 1)),
+            ))
+        return cases
+
+    def test_fast_path_ranks_match_predict_scores(self):
+        from repro.data.dataloader import evaluation_batches
+
+        model = build_sasrec(seed=13)
+        cases = self._cases()
+        # Reference: the seed evaluation loop (float64 predict_scores).
+        reference_ranks = []
+        for batch in evaluation_batches(cases, 8, 8):
+            scores = model.predict_scores(batch)
+            reference_ranks.append(target_ranks(scores, batch.targets))
+        reference = np.concatenate(reference_ranks)
+
+        fast_ranks = []
+        item_matrix = model.inference_item_matrix()
+        for batch in evaluation_batches(cases, 8, 8):
+            scores = model.item_scores(batch.item_ids, batch.lengths,
+                                       item_matrix=item_matrix,
+                                       dtype=np.float32)
+            fast_ranks.append(target_ranks(scores, batch.targets))
+        np.testing.assert_array_equal(np.concatenate(fast_ranks), reference)
+
+    def test_evaluate_model_dtypes_agree(self):
+        model = build_sasrec(seed=13)
+        cases = self._cases()
+        fast = evaluate_model(model, cases, ks=(3, 5), batch_size=8,
+                              max_sequence_length=8)
+        exact = evaluate_model(model, cases, ks=(3, 5), batch_size=8,
+                               max_sequence_length=8, score_dtype=None)
+        assert fast == exact

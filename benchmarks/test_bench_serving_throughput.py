@@ -20,6 +20,7 @@ from repro.models import ModelConfig, build_model
 from repro.serving import (
     EmbeddingStore,
     Recommender,
+    ServingConfig,
     full_sort_topk,
     measure_throughput,
     per_sequence_topk,
@@ -45,9 +46,11 @@ def run_serving_throughput(scale: str = "bench") -> dict:
     recommender = Recommender(model, store=EmbeddingStore(features),
                               train_sequences=split.train_sequences)
 
+    unmasked = ServingConfig(k=K, exclude_seen=False)
+
     # Correctness first: the argpartition fast path must return exactly the
     # brute-force full-sort top-K of its own score matrix.
-    batched = recommender.topk(histories, k=K, exclude_seen=False)
+    batched = recommender.topk(histories, config=unmasked)
     scores, _ = recommender.score(histories, exclude_seen=False)
     reference_items, _ = full_sort_topk(scores, K)
     full_sort_identical = bool(np.array_equal(batched.items, reference_items))
@@ -55,8 +58,10 @@ def run_serving_throughput(scale: str = "bench") -> dict:
     # And the float64 batched path must rank exactly like the per-sequence
     # evaluation loop it replaces.
     loop_items = per_sequence_topk(model, histories, k=K)
-    exact = Recommender(model, store=EmbeddingStore(features), dtype=np.float64)
-    exact_items = exact.topk(histories, k=K, exclude_seen=False).items
+    exact = Recommender(model, store=EmbeddingStore(features),
+                        config=ServingConfig(score_dtype="float64"))
+    exact_items = exact.topk(
+        histories, config=unmasked.with_overrides(score_dtype="float64")).items
     agreement = float(np.mean([
         np.array_equal(exact_items[row], loop_items[row])
         for row in range(len(histories))
@@ -64,7 +69,7 @@ def run_serving_throughput(scale: str = "bench") -> dict:
 
     # Throughput: batched single-matmul fast path vs the evaluation loop.
     report = measure_throughput(
-        lambda: recommender.topk(histories, k=K, exclude_seen=False),
+        lambda: recommender.topk(histories, config=unmasked),
         num_sequences=len(histories), repeats=3, warmup=1,
     )
     start = time.perf_counter()

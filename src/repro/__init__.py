@@ -13,20 +13,27 @@ Public surface:
 * :mod:`repro.analysis`   — anisotropy, alignment/uniformity, conditioning, t-SNE
 * :mod:`repro.experiments`— one runner per paper table/figure
 * :mod:`repro.serving`    — batched, cache-backed top-K recommendation serving
+* :mod:`repro.service`    — multi-model serving API (typed requests, deployment
+  registry, dynamic micro-batching, JSONL/HTTP front-ends)
 """
 
-from . import analysis, data, experiments, index, models, nn, serving, text, training, whitening
+from . import analysis, data, experiments, index, models, nn, service, serving, text, training, whitening
 from .data import load_dataset
 from .models import ModelConfig, WhitenRec, WhitenRecPlus, build_model
-from .serving import EmbeddingStore, Recommender
+from .service import Deployment, ModelRegistry, RecommenderService
+from .serving import EmbeddingStore, Recommender, ServingConfig
 from .training import Trainer, TrainingConfig, evaluate_model
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Deployment",
     "EmbeddingStore",
     "ModelConfig",
+    "ModelRegistry",
     "Recommender",
+    "RecommenderService",
+    "ServingConfig",
     "Trainer",
     "TrainingConfig",
     "WhitenRec",
@@ -40,6 +47,7 @@ __all__ = [
     "load_dataset",
     "models",
     "nn",
+    "service",
     "serving",
     "text",
     "training",

@@ -18,10 +18,18 @@ Inspect the anisotropy of the pre-trained text embeddings (Fig. 2 summary)::
 
     python -m repro anisotropy arts
 
-Train (or load) a model and serve batched top-K recommendations::
+Train (or load) a model and serve batched top-K recommendations (one-shot
+demo)::
 
     python -m repro serve arts --epochs 2 --k 10 --save-checkpoint runs/arts.npz
     python -m repro serve arts --checkpoint runs/arts.npz --backend ivf
+
+Run the persistent multi-model server — named deployments, dynamic
+micro-batching, JSONL-over-stdio or HTTP::
+
+    python -m repro serve --deployment arts=runs/arts.npz \
+                          --deployment food=runs/food.npz --loop
+    python -m repro serve --deployment arts=runs/arts.npz --http 8765
 
 Build an ANN index over the whitened item embeddings (or over a checkpoint's
 candidate item matrix) and save it for a retrieval process::
@@ -76,9 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
     aniso_parser.add_argument("--seed", type=int, default=7)
 
     serve_parser = subparsers.add_parser(
-        "serve", help="train/load a model and serve batched top-K recommendations"
+        "serve",
+        help="serve top-K recommendations: a one-shot demo (with a dataset "
+             "argument) or the persistent multi-model server (--loop / --http)"
     )
-    serve_parser.add_argument("dataset", choices=available_presets())
+    serve_parser.add_argument("dataset", nargs="?", choices=available_presets(),
+                              help="dataset for the one-shot demo (or to train "
+                                   "a deployment from); optional when every "
+                                   "model comes from --deployment")
     serve_parser.add_argument("--scale", default="tiny",
                               choices=["tiny", "small", "paper"])
     serve_parser.add_argument("--model", default="whitenrec",
@@ -88,13 +101,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--k", type=int, default=10,
                               help="top-K cut-off (number of items per request)")
     serve_parser.add_argument("--backend", default="exact",
-                              choices=["exact", "ivf", "ivfpq"],
+                              metavar="{exact,ivf,ivfpq}",
                               help="retrieval backend: exact dense scan or an "
                                    "ANN index (default: exact)")
     serve_parser.add_argument("--requests", type=int, default=8,
-                              help="number of test histories to serve")
+                              help="number of test histories to serve "
+                                   "(one-shot demo)")
     serve_parser.add_argument("--repeats", type=int, default=3,
-                              help="timed repetitions for the throughput report")
+                              help="timed repetitions for the throughput report "
+                                   "(one-shot demo)")
     serve_parser.add_argument("--dim", type=int, default=32,
                               help="pre-trained text embedding dimension")
     serve_parser.add_argument("--seed", type=int, default=7)
@@ -102,6 +117,25 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="load a checkpoint instead of training")
     serve_parser.add_argument("--save-checkpoint", default=None,
                               help="save the trained model to this path")
+    serve_parser.add_argument("--deployment", action="append", default=None,
+                              metavar="NAME=CHECKPOINT",
+                              help="register a named deployment from a "
+                                   "checkpoint (repeatable; the first one is "
+                                   "the default)")
+    serve_parser.add_argument("--loop", action="store_true",
+                              help="run the persistent JSONL-over-stdio "
+                                   "request loop instead of the one-shot demo")
+    serve_parser.add_argument("--http", type=int, default=None, metavar="PORT",
+                              help="run the persistent HTTP server on PORT")
+    serve_parser.add_argument("--max-batch-size", type=int, default=64,
+                              help="dynamic batcher: max coalesced requests "
+                                   "per scoring call (default: 64)")
+    serve_parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                              help="dynamic batcher: how long the first "
+                                   "request waits for company (default: 2)")
+    serve_parser.add_argument("--no-batching", action="store_true",
+                              help="disable dynamic batching (score each "
+                                   "request individually)")
 
     index_parser = subparsers.add_parser(
         "index", help="build and inspect ANN item-retrieval indexes"
@@ -186,61 +220,153 @@ def _command_anisotropy(dataset_name: str, dim: int, seed: int) -> int:
     return 0
 
 
+def _fail(message: str) -> int:
+    """Print a clear one-line error (no traceback) and return exit code 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _command_serve(args) -> int:
     from .data.splits import leave_one_out_split
     from .experiments.persistence import load_checkpoint, load_model, save_checkpoint
     from .models import ModelConfig, build_model, display_label
-    from .serving import EmbeddingStore, Recommender, measure_throughput
+    from .serving import SERVING_BACKENDS, EmbeddingStore, Recommender, ServingConfig, measure_throughput
+    from .service import Deployment, ModelRegistry, RecommenderService, serve_http, serve_jsonl
     from .training import quick_train
 
-    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    split = leave_one_out_split(dataset.interactions)
-    features = encode_items(dataset.items, embedding_dim=args.dim, seed=args.seed)
+    if args.loop and args.http is not None:
+        return _fail("--loop and --http are mutually exclusive; run one "
+                     "front-end per process")
+    if args.backend not in SERVING_BACKENDS:
+        return _fail(f"unknown backend {args.backend!r} "
+                     f"(expected one of {', '.join(SERVING_BACKENDS)})")
+    try:
+        serving_config = ServingConfig(k=args.k, backend=args.backend)
+    except ValueError as error:
+        return _fail(str(error))
 
-    if args.checkpoint:
-        checkpoint = load_checkpoint(args.checkpoint)
-        if checkpoint.feature_table is not None:
-            features = checkpoint.feature_table
-        model = load_model(checkpoint, feature_table=features)
-        print(f"loaded {display_label(model.model_name)} from {args.checkpoint}")
-    else:
-        config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
-                             dropout=0.2, max_seq_length=20, seed=args.seed)
-        model = build_model(args.model, dataset.num_items,
-                            feature_table=features, config=config)
-        print(f"training {display_label(args.model)} for {args.epochs} epoch(s) ...")
-        outcome = quick_train(model, split, num_epochs=args.epochs,
-                              max_sequence_length=20, seed=args.seed)
-        print(f"best epoch {outcome.best_epoch}, "
-              f"test NDCG@20 = {outcome.test_metrics.get('ndcg@20', 0.0):.4f}")
-        if args.save_checkpoint:
-            path = save_checkpoint(model, args.save_checkpoint,
-                                   feature_table=features)
-            print(f"saved checkpoint to {path}")
+    registry = ModelRegistry()
+    # In --loop mode stdout is the JSONL protocol channel; progress goes to
+    # stderr.
+    log = sys.stderr if args.loop else sys.stdout
 
-    store = EmbeddingStore(features)
-    recommender = Recommender(model, store=store,
-                              train_sequences=split.train_sequences,
-                              backend=args.backend)
+    # Named deployments from checkpoints (the multi-model path).
+    for spec in args.deployment or []:
+        name, separator, checkpoint_path = spec.partition("=")
+        if not separator or not name or not checkpoint_path:
+            return _fail(f"--deployment expects NAME=CHECKPOINT, got {spec!r}")
+        if name in registry:
+            return _fail(f"duplicate deployment name {name!r}")
+        try:
+            deployment = Deployment.from_checkpoint(name, checkpoint_path,
+                                                    config=serving_config)
+        except FileNotFoundError:
+            return _fail(f"checkpoint not found: {checkpoint_path}")
+        except (ValueError, KeyError, OSError) as error:
+            return _fail(f"cannot load deployment {name!r} from "
+                         f"{checkpoint_path}: {error}")
+        registry.register(deployment)
+        print(f"deployed {name!r}: {display_label(deployment.model_name)} "
+              f"({deployment.num_items} items) from {checkpoint_path}",
+              file=log)
 
-    cases = split.test[: max(1, args.requests)]
-    histories = [case.history for case in cases]
-    result = recommender.topk(histories, k=args.k)
+    # Dataset-backed deployment: load a checkpoint or train one on the spot.
+    split = None
+    if args.dataset:
+        if args.dataset in registry:
+            return _fail(f"--deployment name {args.dataset!r} collides with "
+                         f"the dataset deployment")
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        split = leave_one_out_split(dataset.interactions)
+        features = encode_items(dataset.items, embedding_dim=args.dim,
+                                seed=args.seed)
+        if args.checkpoint:
+            try:
+                checkpoint = load_checkpoint(args.checkpoint)
+            except FileNotFoundError:
+                return _fail(f"checkpoint not found: {args.checkpoint}")
+            except (ValueError, OSError) as error:
+                return _fail(f"cannot load checkpoint {args.checkpoint}: {error}")
+            if checkpoint.feature_table is not None:
+                features = checkpoint.feature_table
+            model = load_model(checkpoint, feature_table=features)
+            print(f"loaded {display_label(model.model_name)} from {args.checkpoint}",
+                  file=log)
+        else:
+            config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
+                                 dropout=0.2, max_seq_length=20, seed=args.seed)
+            try:
+                model = build_model(args.model, dataset.num_items,
+                                    feature_table=features, config=config)
+            except (KeyError, ValueError) as error:
+                return _fail(f"unknown model {args.model!r}: {error}")
+            print(f"training {display_label(args.model)} for {args.epochs} epoch(s) ...",
+                  file=log)
+            outcome = quick_train(model, split, num_epochs=args.epochs,
+                                  max_sequence_length=20, seed=args.seed)
+            print(f"best epoch {outcome.best_epoch}, "
+                  f"test NDCG@20 = {outcome.test_metrics.get('ndcg@20', 0.0):.4f}",
+                  file=log)
+            if args.save_checkpoint:
+                path = save_checkpoint(model, args.save_checkpoint,
+                                       feature_table=features)
+                print(f"saved checkpoint to {path}", file=log)
 
-    rows = []
-    for case, items, cold in zip(cases, result.items, result.cold):
-        path = "cold" if cold else "warm"
-        rows.append([case.user_id, path, " ".join(str(int(i)) for i in items)])
-    print(format_table(["user", "path", f"top-{args.k} items"], rows,
-                       title=f"Batched recommendations — {args.dataset} "
-                             f"({args.scale}, backend={args.backend})"))
+        recommender = Recommender(model, store=EmbeddingStore(features),
+                                  train_sequences=split.train_sequences,
+                                  config=serving_config)
+        registry.register(Deployment(name=args.dataset, recommender=recommender,
+                                     config=serving_config,
+                                     source=args.checkpoint))
 
-    report = measure_throughput(lambda: recommender.topk(histories, k=args.k),
-                                num_sequences=len(histories),
-                                repeats=max(1, args.repeats))
-    print(f"throughput: {report.sequences_per_second:,.0f} sequences/second "
-          f"({report.num_sequences} requests x {report.repeats} repeats "
-          f"in {report.seconds:.3f}s)")
+    if len(registry) == 0:
+        return _fail("nothing to serve: pass a dataset and/or at least one "
+                     "--deployment NAME=CHECKPOINT")
+
+    service = RecommenderService(registry, batching=not args.no_batching,
+                                 max_batch_size=args.max_batch_size,
+                                 max_wait_ms=args.max_wait_ms)
+
+    # Persistent front-ends.
+    if args.loop:
+        print("serving JSONL on stdin/stdout "
+              "(send {\"cmd\": \"shutdown\"} or EOF to stop)", file=sys.stderr)
+        return serve_jsonl(service)
+    if args.http is not None:
+        print(f"serving HTTP on port {args.http} "
+              f"(POST /recommend, GET /stats, GET /deployments)")
+        try:
+            return serve_http(service, args.http)
+        except OSError as error:
+            return _fail(f"cannot serve HTTP on port {args.http}: {error}")
+
+    # One-shot demo (the original `repro serve` behaviour), routed through
+    # the typed service API.
+    if split is None:
+        return _fail("the one-shot demo needs a dataset argument; use --loop "
+                     "or --http to run the persistent server from "
+                     "--deployment checkpoints alone")
+    with service:
+        cases = split.test[: max(1, args.requests)]
+        requests = [{"history": list(case.history), "deployment": args.dataset}
+                    for case in cases]
+        responses = service.recommend_many(requests)
+
+        rows = []
+        for case, response in zip(cases, responses):
+            path = "cold" if response.cold else "warm"
+            rows.append([case.user_id, path,
+                         " ".join(str(item) for item in response.items)])
+        print(format_table(["user", "path", f"top-{args.k} items"], rows,
+                           title=f"Batched recommendations — {args.dataset} "
+                                 f"({args.scale}, backend={args.backend})"))
+
+        report = measure_throughput(lambda: service.recommend_many(requests),
+                                    num_sequences=len(requests),
+                                    repeats=max(1, args.repeats))
+        print(f"throughput: {report.sequences_per_second:,.0f} sequences/second "
+              f"({report.num_sequences} requests x {report.repeats} repeats "
+              f"in {report.seconds:.3f}s)")
     return 0
 
 

@@ -105,6 +105,22 @@ class Checkpoint:
     metadata: Dict[str, Any]
     feature_table: Optional[np.ndarray] = None
 
+    def summary(self) -> Dict[str, Any]:
+        """Compact JSON-serialisable description of what the checkpoint holds.
+
+        Used by serving deployments and listings that need to describe a
+        model (name, catalogue size, substrate dtype, constructor kwargs)
+        without dragging the parameter arrays along.
+        """
+        return {
+            "model_name": self.metadata.get("model_name"),
+            "num_items": self.metadata.get("num_items"),
+            "dtype": self.metadata.get("dtype"),
+            "build_kwargs": dict(self.metadata.get("build_kwargs", {})),
+            "num_parameters": len(self.state),
+            "has_feature_table": self.feature_table is not None,
+        }
+
 
 #: constructor parameters that are supplied by :func:`load_model`, not kwargs
 _NON_BUILD_PARAMS = {"self", "num_items", "feature_table", "config", "train_sequences"}

@@ -1,0 +1,48 @@
+"""Unified multi-model serving API: typed envelopes, deployments, batching.
+
+This package is the production-shaped front door to the serving stack
+(Triton/TorchServe-style), layered over :mod:`repro.serving`:
+
+* :mod:`~repro.service.envelopes` — :class:`RecommendRequest` /
+  :class:`RecommendResponse`, validated at the edge, with per-row serving
+  diagnostics (warm/cold path, backend, queue + compute latency);
+* :mod:`~repro.service.registry` — :class:`Deployment` (a named
+  model + store + serving-defaults bundle) and :class:`ModelRegistry`
+  (register / get / list / retire, atomic hot-swap ``reload`` from a
+  checkpoint path), so several datasets/models serve side by side from one
+  process;
+* :mod:`~repro.service.batcher` — :class:`DynamicBatcher`, coalescing
+  concurrent single-user requests into the batched matmuls the substrate is
+  fast at, with results bit-identical to direct calls;
+* :mod:`~repro.service.service` — :class:`RecommenderService`, the facade
+  tying registry + batchers + envelopes together;
+* :mod:`~repro.service.server` — the persistent JSONL-over-stdio and HTTP
+  front-ends behind ``repro serve --loop`` / ``--http``.
+
+The paper-exact scoring paths are untouched: every request ultimately runs
+through ``Recommender.topk``, which the serving tests hold bit-identical to
+the full-sort reference.
+"""
+
+from ..serving import ServingConfig
+from .batcher import BatchedResult, BatcherStats, DynamicBatcher
+from .envelopes import RecommendRequest, RecommendResponse, RequestError
+from .registry import Deployment, ModelRegistry
+from .server import ServiceHTTPServer, serve_http, serve_jsonl
+from .service import RecommenderService
+
+__all__ = [
+    "BatchedResult",
+    "BatcherStats",
+    "Deployment",
+    "DynamicBatcher",
+    "ModelRegistry",
+    "RecommendRequest",
+    "RecommendResponse",
+    "RecommenderService",
+    "RequestError",
+    "ServiceHTTPServer",
+    "ServingConfig",
+    "serve_http",
+    "serve_jsonl",
+]

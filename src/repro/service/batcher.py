@@ -1,0 +1,312 @@
+"""Dynamic micro-batching: coalesce concurrent requests into one big matmul.
+
+The serving substrate is fastest on batches (one GEMM for a whole batch of
+users — PR 1's batched scoring over PR 3's fused kernels), but production
+traffic arrives as single-user requests.  The :class:`DynamicBatcher` bridges
+the two, Triton-style: callers submit one history each and block on a future;
+a worker collects whatever arrives within ``max_wait_ms`` of the *first*
+pending request (or until ``max_batch_size``), groups the haul by serving
+policy, and answers each group with a single ``Recommender.topk`` call.
+
+Losslessness: the exact float32 scoring path is batch-composition independent
+(see ``repro.training.evaluation.MIN_SCORING_ROWS`` — tiny batches are padded
+onto the same GEMM kernel family as large ones), each row of a batched call
+is computed independently, and requests asking for different ``k`` are served
+from one call at ``max(k)`` and trimmed per row (the top-k of a sorted
+top-max-k *is* the top-k, because the ordering — score descending, then
+smaller id — is a total order).  So a coalesced response is bit-identical,
+ids and scores, to the direct single-request call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..serving import Recommender, ServingConfig
+
+
+@dataclass(frozen=True)
+class BatchedResult:
+    """Per-request outcome delivered through a submit future.
+
+    ``queue_ms`` is the time the request spent waiting for its batch to be
+    assembled; ``compute_ms`` the duration of the shared scoring call;
+    ``batch_size`` how many requests that call served.
+    """
+
+    items: np.ndarray
+    scores: np.ndarray
+    cold: bool
+    backend: str
+    queue_ms: float
+    compute_ms: float
+    batch_size: int
+
+
+@dataclass
+class BatcherStats:
+    """Counters exposed by :meth:`DynamicBatcher.stats` (a snapshot copy)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    ticks: int = 0
+    scoring_calls: int = 0
+    max_batch_observed: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.scoring_calls == 0:
+            return 0.0
+        return self.completed / self.scoring_calls
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "ticks": self.ticks,
+            "scoring_calls": self.scoring_calls,
+            "max_batch_observed": self.max_batch_observed,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+        }
+
+
+@dataclass
+class _Pending:
+    """One queued request: its history, resolved policy, and delivery future."""
+
+    sequence: Sequence[int]
+    config: ServingConfig
+    future: "Future[BatchedResult]"
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class DynamicBatcher:
+    """Thread-safe request coalescer in front of one :class:`Recommender`.
+
+    Parameters
+    ----------
+    recommender:
+        The recommender every batch is scored through.
+    config:
+        Default serving policy for submitted requests (defaults to the
+        recommender's own config).
+    max_batch_size:
+        Hard cap on requests per scoring call.
+    max_wait_ms:
+        How long the first request of a tick waits for company before the
+        batch is flushed anyway.  ``0`` disables waiting: each tick takes
+        whatever is queued at that instant (still coalescing bursts).
+    start:
+        Start the background worker immediately.  ``start=False`` leaves the
+        batcher in manual mode — nothing is processed until :meth:`flush` —
+        which tests use to assemble deterministic batch compositions.
+    """
+
+    def __init__(self, recommender: Recommender,
+                 config: Optional[ServingConfig] = None,
+                 max_batch_size: int = 64, max_wait_ms: float = 2.0,
+                 start: bool = True):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.recommender = recommender
+        self.config = config if config is not None else recommender.config
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self._queue: Deque[_Pending] = deque()
+        self._wake = threading.Condition(threading.Lock())
+        self._closed = False
+        self._stats = BatcherStats()
+        self._worker: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the background worker (idempotent)."""
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            if self._worker is not None:
+                return
+            self._worker = threading.Thread(
+                target=self._run, name="repro-dynamic-batcher", daemon=True
+            )
+            self._worker.start()
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Graceful shutdown: stop accepting, drain the queue, join the worker."""
+        with self._wake:
+            if self._closed:
+                worker = self._worker
+            else:
+                self._closed = True
+                worker = self._worker
+                self._wake.notify_all()
+        if worker is not None:
+            worker.join(timeout)
+        # Manual mode (or a worker that died) may leave requests queued.
+        self.flush()
+
+    def __enter__(self) -> "DynamicBatcher":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._wake:
+            return self._closed
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, sequence: Sequence[int], k: Optional[int] = None,
+               exclude_seen: Optional[bool] = None,
+               backend: Optional[str] = None) -> "Future[BatchedResult]":
+        """Enqueue one request; returns a future resolving to
+        :class:`BatchedResult`.  Overrides are validated here, in the caller's
+        thread, so a bad request can never poison a shared batch."""
+        config = self.config.with_overrides(k=k, exclude_seen=exclude_seen,
+                                            backend=backend)
+        future: "Future[BatchedResult]" = Future()
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed batcher")
+            self._queue.append(_Pending(sequence, config, future))
+            self._stats.submitted += 1
+            # Wake the worker only when its state changes: the first arrival
+            # opens a tick, a full batch ends the wait window early.  Waking
+            # it for every in-between arrival would just churn the GIL — its
+            # timed wait already covers them.
+            if len(self._queue) == 1 or len(self._queue) >= self.max_batch_size:
+                self._wake.notify_all()
+        return future
+
+    def recommend(self, sequence: Sequence[int], k: Optional[int] = None,
+                  exclude_seen: Optional[bool] = None,
+                  backend: Optional[str] = None,
+                  timeout: Optional[float] = None) -> BatchedResult:
+        """Blocking convenience wrapper: submit and wait for the result."""
+        return self.submit(sequence, k=k, exclude_seen=exclude_seen,
+                           backend=backend).result(timeout)
+
+    def flush(self) -> int:
+        """Synchronously process everything currently queued (caller thread).
+
+        Returns the number of requests served.  This is the manual-mode
+        engine and the close() drain; it is safe to call concurrently with a
+        running worker (each request is popped exactly once, under the lock).
+        """
+        served = 0
+        while True:
+            with self._wake:
+                if not self._queue:
+                    return served
+                batch = self._pop_batch_locked()
+            self._process(batch)
+            served += len(batch)
+
+    def stats(self) -> BatcherStats:
+        """A point-in-time copy of the counters."""
+        with self._wake:
+            return BatcherStats(**vars(self._stats))
+
+    # ------------------------------------------------------------------ #
+    # Worker
+    # ------------------------------------------------------------------ #
+    def _pop_batch_locked(self) -> List[_Pending]:
+        take = min(len(self._queue), self.max_batch_size)
+        return [self._queue.popleft() for _ in range(take)]
+
+    def _next_batch(self) -> Optional[List[_Pending]]:
+        """Block until a batch is due; None means the batcher is shut down."""
+        with self._wake:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._wake.wait()
+            # First arrival opens the window: collect company until the
+            # deadline, the size cap, or shutdown — whichever comes first.
+            if self.max_wait_ms > 0:
+                deadline = self._queue[0].enqueued_at + self.max_wait_ms / 1000.0
+                while (len(self._queue) < self.max_batch_size
+                       and not self._closed):
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._wake.wait(remaining)
+                if not self._queue:  # a concurrent flush() drained us
+                    return [] if not self._closed else None
+            return self._pop_batch_locked()
+
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            if batch:
+                self._process(batch)
+
+    def _process(self, batch: List[_Pending]) -> None:
+        """Serve one popped batch: group by policy, one topk call per group."""
+        started = time.perf_counter()
+        groups: Dict[Tuple[str, bool, int], List[_Pending]] = {}
+        for pending in batch:
+            key = (pending.config.backend, pending.config.exclude_seen,
+                   pending.config.overfetch_margin)
+            groups.setdefault(key, []).append(pending)
+
+        scoring_calls = 0
+        failed = 0
+        for (backend, exclude_seen, margin), members in groups.items():
+            k_max = max(pending.config.k for pending in members)
+            call_config = self.config.with_overrides(
+                k=k_max, backend=backend, exclude_seen=exclude_seen,
+                overfetch_margin=margin,
+            )
+            call_started = time.perf_counter()
+            try:
+                result = self.recommender.topk(
+                    [pending.sequence for pending in members],
+                    config=call_config,
+                )
+            except Exception as error:  # deliver, don't kill the worker
+                failed += len(members)
+                for pending in members:
+                    pending.future.set_exception(error)
+                continue
+            compute_ms = (time.perf_counter() - call_started) * 1000.0
+            scoring_calls += 1
+            for row, pending in enumerate(members):
+                k = min(pending.config.k, result.items.shape[1])
+                pending.future.set_result(BatchedResult(
+                    items=result.items[row, :k].copy(),
+                    scores=result.scores[row, :k].copy(),
+                    cold=bool(result.cold[row]),
+                    backend=backend,
+                    queue_ms=(started - pending.enqueued_at) * 1000.0,
+                    compute_ms=compute_ms,
+                    batch_size=len(members),
+                ))
+
+        with self._wake:
+            self._stats.ticks += 1
+            self._stats.scoring_calls += scoring_calls
+            self._stats.completed += len(batch) - failed
+            self._stats.failed += failed
+            self._stats.max_batch_observed = max(
+                self._stats.max_batch_observed, len(batch))

@@ -1,0 +1,184 @@
+"""Persistent front-ends around :class:`RecommenderService`.
+
+Two transports, one protocol:
+
+* **JSONL over stdio** — one JSON object per line in, one per line out.
+  A line is either a recommendation request (see
+  :class:`~repro.service.envelopes.RecommendRequest`) or a control command
+  ``{"cmd": "stats" | "deployments" | "shutdown"}``.  Malformed lines get an
+  ``{"error": ...}`` line back and the loop keeps serving; EOF or
+  ``shutdown`` drains the batchers and exits cleanly.  This is what
+  ``repro serve --loop`` runs.
+* **HTTP** — a :mod:`http.server`-based threaded server (no third-party web
+  framework): ``POST /recommend`` (single request object or
+  ``{"requests": [...]}`` for a coalesced burst), ``GET /stats``,
+  ``GET /deployments``.  This is what ``repro serve --http PORT`` runs.
+  The threaded server is what gives the dynamic batcher concurrent callers
+  to coalesce.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, TextIO
+
+from .envelopes import RequestError
+from .service import RecommenderService
+
+#: control verbs understood by the JSONL loop
+JSONL_COMMANDS = ("stats", "deployments", "shutdown")
+
+
+def _handle_command(service: RecommenderService, command: str) -> Dict[str, Any]:
+    if command == "stats":
+        return {"stats": service.stats()}
+    if command == "deployments":
+        return {"deployments": service.registry.describe()}
+    raise RequestError(
+        f"unknown command {command!r} (expected one of {', '.join(JSONL_COMMANDS)})"
+    )
+
+
+def serve_jsonl(service: RecommenderService,
+                input_stream: Optional[TextIO] = None,
+                output_stream: Optional[TextIO] = None,
+                default_deployment: Optional[str] = None) -> int:
+    """Run the JSONL request loop until EOF or a ``shutdown`` command.
+
+    ``default_deployment`` routes requests that name no deployment (on top of
+    the registry's own default).  Returns a process exit code (always 0: a
+    malformed *request* is the client's problem and answered in-band).
+    """
+    input_stream = input_stream if input_stream is not None else sys.stdin
+    output_stream = output_stream if output_stream is not None else sys.stdout
+
+    def emit(payload: Dict[str, Any]) -> None:
+        output_stream.write(json.dumps(payload) + "\n")
+        output_stream.flush()
+
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        request_id = None
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise RequestError("each line must be a JSON object")
+            if "cmd" in payload:
+                command = payload["cmd"]
+                if command == "shutdown":
+                    emit({"ok": True, "shutdown": True})
+                    break
+                emit(_handle_command(service, command))
+                continue
+            request_id = payload.get("request_id")
+            if default_deployment is not None and "deployment" not in payload:
+                payload = dict(payload, deployment=default_deployment)
+            response = service.recommend(payload)
+            emit(response.to_dict())
+        except json.JSONDecodeError as error:
+            emit({"error": f"invalid JSON: {error.msg}", "request_id": request_id})
+        except RequestError as error:
+            emit({"error": str(error), "request_id": request_id})
+    service.close()
+    return 0
+
+
+class _ServiceHTTPHandler(BaseHTTPRequestHandler):
+    """Request handler bound to a service via the server instance."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise RequestError("request body must be a JSON object")
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except json.JSONDecodeError as error:
+            raise RequestError(f"invalid JSON: {error.msg}") from None
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        if self.path == "/stats":
+            self._send_json(service.stats())
+        elif self.path == "/deployments":
+            self._send_json({"deployments": service.registry.describe()})
+        elif self.path in ("/", "/healthz"):
+            self._send_json({"ok": True,
+                             "deployments": len(service.registry)})
+        else:
+            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/recommend":
+            self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
+            return
+        service = self.server.service
+        try:
+            payload = self._read_json()
+            if isinstance(payload, dict) and "requests" in payload:
+                responses = service.recommend_many(payload["requests"])
+                self._send_json(
+                    {"responses": [response.to_dict() for response in responses]}
+                )
+            else:
+                self._send_json(service.recommend(payload).to_dict())
+        except RequestError as error:
+            self._send_json({"error": str(error)}, status=400)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threaded HTTP server wrapping one :class:`RecommenderService`.
+
+    Threading matters: it is what turns concurrent HTTP clients into
+    concurrent ``recommend()`` callers for the dynamic batcher to coalesce.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, service: RecommenderService, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False):
+        super().__init__((host, port), _ServiceHTTPHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve_http(service: RecommenderService, port: int,
+               host: str = "127.0.0.1", verbose: bool = True) -> int:
+    """Run the HTTP front-end until interrupted; drains batchers on exit."""
+    server = ServiceHTTPServer(service, host=host, port=port, verbose=verbose)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0

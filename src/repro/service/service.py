@@ -1,0 +1,298 @@
+"""The unified serving facade: typed requests in, typed responses out.
+
+:class:`RecommenderService` ties the pieces together: a
+:class:`~repro.service.registry.ModelRegistry` of named deployments, one
+:class:`~repro.service.batcher.DynamicBatcher` per deployment *version* (a
+hot-swap gets a fresh batcher; the old one drains and serves its in-flight
+requests on the old model), and the request/response envelopes every
+front-end (python, JSONL stdio, HTTP) shares.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .batcher import BatchedResult, DynamicBatcher
+from .envelopes import RecommendRequest, RecommendResponse, RequestError
+from .registry import Deployment, ModelRegistry
+
+
+class RecommenderService:
+    """Serve many models from one process through one typed entry point.
+
+    Parameters
+    ----------
+    registry:
+        The deployment registry (a fresh empty one by default; add models
+        with :meth:`deploy`).
+    batching:
+        Coalesce concurrent :meth:`recommend` calls through per-deployment
+        dynamic batchers.  ``False`` scores every request individually (the
+        per-request baseline the batching benchmark measures against).
+    max_batch_size / max_wait_ms:
+        Batcher tuning, applied to every per-deployment batcher.
+    autostart_batchers:
+        ``False`` creates batchers in manual mode (no worker thread); tests
+        drive them deterministically via :meth:`flush`.
+    """
+
+    def __init__(self, registry: Optional[ModelRegistry] = None,
+                 batching: bool = True, max_batch_size: int = 64,
+                 max_wait_ms: float = 2.0, autostart_batchers: bool = True):
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.batching = batching
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.autostart_batchers = autostart_batchers
+        self._lock = threading.Lock()
+        self._batchers: Dict[Tuple[str, int], DynamicBatcher] = {}
+        # Tombstones for reloaded/retired deployment versions: a request that
+        # raced the swap must not resurrect a batcher (and its worker thread)
+        # under a key nothing would ever clean up again.
+        self._retired_batchers: set = set()
+        self._requests_served = 0
+        self._request_errors = 0
+        self._started_at = time.perf_counter()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Deployment management (thin registry pass-throughs)
+    # ------------------------------------------------------------------ #
+    def deploy(self, deployment: Deployment, default: bool = False) -> Deployment:
+        """Register a deployment and start serving it."""
+        return self.registry.register(deployment, default=default)
+
+    def retire(self, name: str) -> Deployment:
+        """Stop serving a deployment; its batcher is drained and closed."""
+        deployment = self.registry.retire(name)
+        self._drop_batcher(deployment.name, deployment.version)
+        return deployment
+
+    def reload(self, name: str, checkpoint_path: Optional[str] = None,
+               **kwargs: Any) -> Deployment:
+        """Hot-swap a deployment from a checkpoint (see
+        :meth:`ModelRegistry.reload`).  In-flight requests finish on the old
+        deployment's batcher, which is then drained and closed.
+
+        Each reload drops the batcher of exactly the version it replaced
+        (``fresh.version - 1``) rather than a pre-read deployment object, so
+        concurrent reloads of one name — serialised by the registry — each
+        retire their own predecessor and no version's batcher leaks.
+        """
+        fresh = self.registry.reload(name, checkpoint_path, **kwargs)
+        self._drop_batcher(name, fresh.version - 1)
+        return fresh
+
+    def _drop_batcher(self, name: str, version: int) -> None:
+        key = (name, version)
+        with self._lock:
+            self._retired_batchers.add(key)
+            batcher = self._batchers.pop(key, None)
+        if batcher is not None:
+            batcher.close()
+
+    def _batcher_for(self, deployment: Deployment) -> Optional[DynamicBatcher]:
+        """The deployment version's batcher, or ``None`` once it is retired
+        or the service closed (the request then serves unbatched on the
+        deployment object it holds — never a fresh worker thread that nothing
+        would shut down)."""
+        key = (deployment.name, deployment.version)
+        with self._lock:
+            if self._closed or key in self._retired_batchers:
+                return None
+            if key not in self._batchers:
+                self._batchers[key] = DynamicBatcher(
+                    deployment.recommender_for(), config=deployment.config,
+                    max_batch_size=self.max_batch_size,
+                    max_wait_ms=self.max_wait_ms,
+                    start=self.autostart_batchers,
+                )
+            return self._batchers[key]
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def recommend(self, request: Union[RecommendRequest, Dict[str, Any]],
+                  timeout: Optional[float] = None) -> RecommendResponse:
+        """Serve one request (blocking until its batch is scored)."""
+        return self._serve(self._coerce(request), timeout)
+
+    def recommend_many(self, requests: Sequence[Union[RecommendRequest,
+                                                      Dict[str, Any]]],
+                       timeout: Optional[float] = None) -> List[RecommendResponse]:
+        """Serve a burst of requests, submitting them all before waiting.
+
+        With batching enabled the whole burst lands in the batcher queue at
+        once, so it coalesces even without concurrent callers.  The burst
+        fails as a unit on any invalid entry, and it fails *before* anything
+        is scored: every request is resolved and its overrides validated up
+        front, so a bad entry can never leave earlier entries' futures
+        abandoned mid-batch (their scoring running with nobody waiting).
+        """
+        coerced = [self._coerce(request) for request in requests]
+        resolved = []
+        for request in coerced:
+            deployment = self._resolve(request)
+            try:
+                deployment.config.with_overrides(
+                    k=request.k, exclude_seen=request.exclude_seen,
+                    backend=request.backend, score_dtype=request.score_dtype)
+            except (ValueError, TypeError) as error:
+                self._count_error()
+                raise RequestError(str(error)) from None
+            resolved.append((request, deployment))
+        if not self.batching:
+            return [self._serve(request, timeout) for request in coerced]
+        submitted = []
+        for request, deployment in resolved:
+            future = None
+            if request.score_dtype is None:
+                future = self._submit(request, deployment)
+            submitted.append((request, deployment, future))
+        responses = []
+        for request, deployment, future in submitted:
+            if future is None:
+                responses.append(self._serve_direct(request, deployment))
+            else:
+                responses.append(self._to_response(
+                    request, deployment, future.result(timeout)))
+        return responses
+
+    def _coerce(self, request: Union[RecommendRequest, Dict[str, Any]]
+                ) -> RecommendRequest:
+        if isinstance(request, RecommendRequest):
+            return request
+        return RecommendRequest.from_dict(request)
+
+    def _resolve(self, request: RecommendRequest) -> Deployment:
+        """Look up the request's deployment; unknown names are client errors."""
+        try:
+            return self.registry.get(request.deployment)
+        except KeyError as error:
+            self._count_error()
+            raise RequestError(str(error).strip('"')) from None
+
+    def _submit(self, request: RecommendRequest, deployment: Deployment):
+        """Enqueue one request on the deployment's batcher.
+
+        Returns ``None`` when the request must be served unbatched instead:
+        the deployment version was retired by a concurrent reload, or its
+        batcher closed between lookup and submit.  Invalid overrides surface
+        as :class:`RequestError` here, in the caller's thread.
+        """
+        batcher = self._batcher_for(deployment)
+        if batcher is None:
+            return None
+        try:
+            return batcher.submit(request.history, k=request.k,
+                                  exclude_seen=request.exclude_seen,
+                                  backend=request.backend)
+        except ValueError as error:
+            self._count_error()
+            raise RequestError(str(error)) from None
+        except RuntimeError:  # closed by a concurrent reload/retire
+            return None
+
+    def _serve(self, request: RecommendRequest,
+               timeout: Optional[float]) -> RecommendResponse:
+        deployment = self._resolve(request)
+        if not self.batching or request.score_dtype is not None:
+            # dtype-overridden requests score through a per-dtype sibling
+            # recommender; they cannot share the default-dtype batch.
+            return self._serve_direct(request, deployment)
+        future = self._submit(request, deployment)
+        if future is None:
+            return self._serve_direct(request, deployment)
+        return self._to_response(request, deployment, future.result(timeout))
+
+    def _serve_direct(self, request: RecommendRequest,
+                      deployment: Deployment) -> RecommendResponse:
+        """Unbatched path: one topk call for this request alone."""
+        try:
+            recommender = deployment.recommender_for(request.score_dtype)
+            config = deployment.config.with_overrides(
+                k=request.k, exclude_seen=request.exclude_seen,
+                backend=request.backend,
+                score_dtype=recommender.config.score_dtype,
+            )
+            started = time.perf_counter()
+            result = recommender.topk([request.history], config=config)
+        except (ValueError, TypeError) as error:
+            self._count_error()
+            raise RequestError(str(error)) from None
+        compute_ms = (time.perf_counter() - started) * 1000.0
+        batched = BatchedResult(
+            items=result.items[0], scores=result.scores[0],
+            cold=bool(result.cold[0]), backend=config.backend,
+            queue_ms=0.0, compute_ms=compute_ms, batch_size=1,
+        )
+        return self._to_response(request, deployment, batched)
+
+    def _to_response(self, request: RecommendRequest, deployment: Deployment,
+                     result: BatchedResult) -> RecommendResponse:
+        with self._lock:
+            self._requests_served += 1
+        return RecommendResponse(
+            items=[int(item) for item in result.items],
+            scores=[float(score) for score in result.scores],
+            deployment=deployment.name,
+            deployment_version=deployment.version,
+            backend=result.backend,
+            cold=result.cold,
+            k=len(result.items),
+            queue_ms=result.queue_ms,
+            compute_ms=result.compute_ms,
+            batch_size=result.batch_size,
+            request_id=request.request_id,
+        )
+
+    def _count_error(self) -> None:
+        with self._lock:
+            self._request_errors += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------ #
+    def flush(self) -> int:
+        """Drain every batcher queue synchronously (manual-mode engine)."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+        return sum(batcher.flush() for batcher in batchers)
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serialisable service counters, per-deployment batcher stats
+        included."""
+        with self._lock:
+            batchers = dict(self._batchers)
+            served = self._requests_served
+            errors = self._request_errors
+        return {
+            "uptime_s": round(time.perf_counter() - self._started_at, 3),
+            "requests_served": served,
+            "request_errors": errors,
+            "batching": self.batching,
+            "deployments": self.registry.describe(),
+            "batchers": {
+                f"{name}@v{version}": batcher.stats().to_dict()
+                for (name, version), batcher in sorted(batchers.items())
+            },
+        }
+
+    def close(self) -> None:
+        """Graceful shutdown: drain and close every batcher."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for batcher in batchers:
+            batcher.close()
+
+    def __enter__(self) -> "RecommenderService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

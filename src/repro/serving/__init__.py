@@ -16,7 +16,8 @@ into a cache-backed top-K service:
   ``repro serve`` CLI and the serving micro-benchmark.
 """
 
-from .recommender import SERVING_BACKENDS, Recommender, TopKResult, full_sort_topk
+from .config import SERVING_BACKENDS, ServingConfig, resolve_config
+from .recommender import Recommender, TopKResult, full_sort_topk
 from .store import EmbeddingStore
 from .throughput import ThroughputReport, measure_throughput, per_sequence_topk
 
@@ -24,9 +25,11 @@ __all__ = [
     "EmbeddingStore",
     "Recommender",
     "SERVING_BACKENDS",
+    "ServingConfig",
     "ThroughputReport",
     "TopKResult",
     "full_sort_topk",
     "measure_throughput",
     "per_sequence_topk",
+    "resolve_config",
 ]

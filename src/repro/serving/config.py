@@ -1,0 +1,129 @@
+"""Typed serving configuration shared by `Recommender` and `repro.service`.
+
+Historically every scoring knob travelled as a loose keyword argument —
+``topk(sequences, k, exclude_seen=..., backend=...)`` with ``dtype`` fixed at
+construction — which made it impossible to name a serving policy, attach it
+to a deployment, or coalesce requests that share one.  :class:`ServingConfig`
+is that policy as a single frozen value: validated once, hashable (so the
+dynamic batcher can group requests by it), and serialisable for the JSONL
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+#: retrieval backends accepted by the serving stack
+SERVING_BACKENDS = ("exact", "ivf", "ivfpq")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """One serving policy: what to retrieve, how, and at which precision.
+
+    Attributes
+    ----------
+    k:
+        Top-K cut-off (items returned per request).
+    backend:
+        Retrieval backend: ``"exact"`` (dense full-catalogue matmul) or an
+        ANN index (``"ivf"`` / ``"ivfpq"``) from :mod:`repro.index`.
+    score_dtype:
+        Numpy dtype name for the scoring matmul (``"float32"`` halves the
+        memory traffic of the float64 training substrate; ``"float64"``
+        restores full precision).  Stored as a string so configs stay
+        JSON-serialisable; use :attr:`np_dtype` for the numpy type.
+    exclude_seen:
+        Mask every history item out of the recommendations.
+    overfetch_margin:
+        Extra candidates fetched per row on the ANN path beyond the
+        ``k + len(history)`` minimum, trading a slightly wider scan for fewer
+        exact-path fallbacks when filtering leaves a row short.
+    """
+
+    k: int = 10
+    backend: str = "exact"
+    score_dtype: str = "float32"
+    exclude_seen: bool = True
+    overfetch_margin: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
+            raise ValueError(f"k must be a positive integer, got {self.k!r}")
+        if self.backend not in SERVING_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SERVING_BACKENDS}, got {self.backend!r}"
+            )
+        try:
+            canonical = np.dtype(self.score_dtype).name
+        except TypeError as error:
+            raise ValueError(
+                f"score_dtype must name a numpy dtype, got {self.score_dtype!r}"
+            ) from error
+        object.__setattr__(self, "score_dtype", canonical)
+        if not isinstance(self.overfetch_margin, int) or self.overfetch_margin < 0:
+            raise ValueError(
+                f"overfetch_margin must be a non-negative integer, "
+                f"got {self.overfetch_margin!r}"
+            )
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The scoring dtype as a numpy dtype object."""
+        return np.dtype(self.score_dtype)
+
+    def with_overrides(self, **overrides: Any) -> "ServingConfig":
+        """A copy with the non-``None`` overrides applied (and re-validated).
+
+        ``None`` values mean "keep mine", which lets request envelopes carry
+        optional per-request overrides without spelling out every field.
+        """
+        updates = {name: value for name, value in overrides.items()
+                   if value is not None}
+        if not updates:
+            return self
+        known = {field.name for field in fields(self)}
+        unknown = sorted(set(updates) - known)
+        if unknown:
+            raise ValueError(f"unknown ServingConfig field(s): {', '.join(unknown)}")
+        # numpy dtypes arrive from legacy `dtype=` call sites; normalise them.
+        if "score_dtype" in updates and not isinstance(updates["score_dtype"], str):
+            updates["score_dtype"] = np.dtype(updates["score_dtype"]).name
+        return replace(self, **updates)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (used by ``stats`` and deployment listings)."""
+        return {
+            "k": self.k,
+            "backend": self.backend,
+            "score_dtype": self.score_dtype,
+            "exclude_seen": self.exclude_seen,
+            "overfetch_margin": self.overfetch_margin,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ServingConfig":
+        """Build a config from a (possibly partial) JSON mapping."""
+        return cls().with_overrides(**dict(payload))
+
+
+def resolve_config(config: Optional[ServingConfig] = None,
+                   **legacy_overrides: Any) -> ServingConfig:
+    """Normalise a ``config=`` / legacy-kwarg combination into one config.
+
+    Raises when both a config object and explicit legacy overrides are given
+    — the two styles cannot be merged unambiguously.
+    """
+    explicit = {name: value for name, value in legacy_overrides.items()
+                if value is not None}
+    if config is not None:
+        if explicit:
+            raise ValueError(
+                "pass either config= or individual keyword arguments "
+                f"({', '.join(sorted(explicit))}), not both"
+            )
+        return config
+    return ServingConfig().with_overrides(**explicit)

@@ -23,6 +23,7 @@ popularity prior estimated from the training sequences.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -30,11 +31,9 @@ import numpy as np
 
 from ..data.dataloader import pad_sequences
 from ..index import ItemIndex, build_index
-from ..nn import functional as F
+from ..training.evaluation import inference_catalogue_scores
+from .config import SERVING_BACKENDS, ServingConfig, resolve_config
 from .store import EmbeddingStore
-
-#: retrieval backends accepted by :meth:`Recommender.topk`
-SERVING_BACKENDS = ("exact", "ivf", "ivfpq")
 
 
 @dataclass
@@ -90,6 +89,12 @@ class Recommender:
         Optional set of item ids whose trained representations should not be
         trusted by the sequence encoder (e.g. ``split.cold_items`` for
         ID-based models).
+    config:
+        A :class:`~repro.serving.config.ServingConfig` bundling the serving
+        defaults (k, backend, scoring dtype, seen-item masking, ANN
+        over-fetch margin).  The legacy ``dtype`` / ``backend`` keyword
+        arguments are **deprecated**: either style works alone (legacy kwargs
+        emit a :class:`DeprecationWarning`), combining them raises.
     dtype:
         Scoring precision for the single-matmul fast path (default float32).
     fallback_method / fallback_groups:
@@ -107,20 +112,35 @@ class Recommender:
     def __init__(self, model, store: Optional[EmbeddingStore] = None,
                  train_sequences: Optional[Dict[int, List[int]]] = None,
                  cold_items: Optional[Iterable[int]] = None,
-                 dtype=np.float32,
+                 dtype=None,
                  fallback_method: str = "zca", fallback_groups=1,
-                 backend: str = "exact",
-                 index_params: Optional[Dict] = None):
-        if backend not in SERVING_BACKENDS:
-            raise ValueError(
-                f"backend must be one of {SERVING_BACKENDS}, got {backend!r}"
+                 backend: Optional[str] = None,
+                 index_params: Optional[Dict] = None,
+                 config: Optional[ServingConfig] = None):
+        if dtype is not None or backend is not None:
+            if config is not None:
+                # Same contract as topk(): the two styles cannot be merged
+                # unambiguously, so an explicit config wins by rejection,
+                # never by silently overriding the legacy kwargs (or vice
+                # versa).
+                raise ValueError(
+                    "pass either config= or the legacy dtype=/backend= "
+                    "keyword arguments to Recommender(), not both"
+                )
+            warnings.warn(
+                "passing dtype=/backend= to Recommender() is deprecated; "
+                "pass config=ServingConfig(...) instead",
+                DeprecationWarning, stacklevel=2,
             )
+        config = config if config is not None else ServingConfig()
+        config = config.with_overrides(score_dtype=dtype, backend=backend)
+        self.config = config
         self.model = model
         self.store = store
-        self.dtype = dtype
+        self.dtype = config.np_dtype
         self.fallback_method = fallback_method
         self.fallback_groups = fallback_groups
-        self.default_backend = backend
+        self.default_backend = config.backend
         self.index_params = dict(index_params or {})
         self._indexes: Dict[str, ItemIndex] = {}
         self.cold_items = frozenset(int(item) for item in cold_items) if cold_items else frozenset()
@@ -197,9 +217,9 @@ class Recommender:
         cold = np.array([len(items) == 0 for items in servable], dtype=bool)
         return histories, servable, cold
 
-    def _encode_warm_rows(self, servable: Sequence[List[int]],
-                          warm_rows: np.ndarray) -> np.ndarray:
-        """User representations for the warm rows of a classified batch.
+    def _warm_batch(self, servable: Sequence[List[int]],
+                    warm_rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Padded ``(item_ids, lengths)`` for the warm rows of a batch.
 
         Histories are truncated and padded to the model's full window:
         position embeddings depend on the padded width, so serving must use
@@ -208,7 +228,12 @@ class Recommender:
         """
         warm_histories = [servable[row][-self.model.max_seq_length:]
                           for row in warm_rows]
-        item_ids, lengths = pad_sequences(warm_histories, self.model.max_seq_length)
+        return pad_sequences(warm_histories, self.model.max_seq_length)
+
+    def _encode_warm_rows(self, servable: Sequence[List[int]],
+                          warm_rows: np.ndarray) -> np.ndarray:
+        """User representations for the warm rows of a classified batch."""
+        item_ids, lengths = self._warm_batch(servable, warm_rows)
         return self.model.encode_sequences(
             item_ids, lengths, item_matrix=self._warm_matrix64()
         )
@@ -231,9 +256,15 @@ class Recommender:
 
         warm_rows = np.flatnonzero(~cold)
         if warm_rows.size:
-            users = self._encode_warm_rows(servable, warm_rows)
-            scores[warm_rows] = F.catalogue_scores(users, self.item_matrix(),
-                                                   dtype=self.dtype)
+            item_ids, lengths = self._warm_batch(servable, warm_rows)
+            # The shared entry point pads tiny batches up to MIN_SCORING_ROWS
+            # so scores never depend on batch composition (the contract the
+            # dynamic micro-batcher's bit-identity guarantee rests on).
+            scores[warm_rows] = inference_catalogue_scores(
+                self.model, item_ids, lengths,
+                item_matrix=self._warm_matrix64(),
+                scoring_matrix=self.item_matrix(), score_dtype=self.dtype,
+            )
 
         cold_rows = np.flatnonzero(cold)
         if cold_rows.size:
@@ -269,9 +300,17 @@ class Recommender:
     # ------------------------------------------------------------------ #
     # Top-K fast path
     # ------------------------------------------------------------------ #
-    def topk(self, sequences: Sequence[Sequence[int]], k: int = 10,
-             exclude_seen: bool = True, backend: Optional[str] = None) -> TopKResult:
+    def topk(self, sequences: Sequence[Sequence[int]], k: Optional[int] = None,
+             exclude_seen: Optional[bool] = None, backend: Optional[str] = None,
+             *, config: Optional[ServingConfig] = None) -> TopKResult:
         """Batched top-K recommendations for a batch of request histories.
+
+        The serving policy comes from ``config`` (a
+        :class:`~repro.serving.config.ServingConfig`), defaulting to the one
+        chosen at construction.  ``k`` remains a first-class convenience
+        override; the ``exclude_seen`` / ``backend`` keyword arguments are
+        **deprecated** — they still work (folded into the config with a
+        :class:`DeprecationWarning`) but new code should pass a config.
 
         With ``backend="exact"`` (the default), one matmul scores the whole
         batch against the full catalogue; ``np.argpartition`` then extracts
@@ -280,26 +319,50 @@ class Recommender:
         smaller item id so the result is identical to :func:`full_sort_topk`
         (exactly so whenever the K-th best score is unique; a tie straddling
         the partition boundary may legitimately admit either candidate).
+        The exact path's float32 results are independent of batch composition
+        (see :data:`repro.training.evaluation.MIN_SCORING_ROWS`), which is
+        what makes dynamic micro-batching in :mod:`repro.service` lossless.
 
         With ``backend="ivf"`` / ``"ivfpq"``, warm requests retrieve through
         the cached :meth:`item_index` instead, scanning only the probed
         fraction of the catalogue: the index is over-fetched by the history
-        length so that seen-item masking can still drop every history item
-        from the candidates.  Cold requests (and any row the over-fetch
-        cannot fill) transparently use the exact path.  ``backend=None``
-        uses the default chosen at construction.
+        length (plus ``config.overfetch_margin``) so that seen-item masking
+        can still drop every history item from the candidates.  Cold requests
+        (and any row the over-fetch cannot fill) transparently use the exact
+        path.
         """
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        backend = self.default_backend if backend is None else backend
-        if backend not in SERVING_BACKENDS:
-            raise ValueError(
-                f"backend must be one of {SERVING_BACKENDS}, got {backend!r}"
+        if exclude_seen is not None or backend is not None:
+            warnings.warn(
+                "passing exclude_seen=/backend= to Recommender.topk is "
+                "deprecated; pass config=ServingConfig(...) instead",
+                DeprecationWarning, stacklevel=2,
             )
-        if backend != "exact":
-            return self._topk_with_index(sequences, k, exclude_seen, backend)
-        scores, cold = self.score(sequences, exclude_seen=exclude_seen)
-        k = min(k, self.num_items)
+        if config is None:
+            config = self.config.with_overrides(
+                k=k, exclude_seen=exclude_seen, backend=backend)
+        else:
+            # k composes with an explicit config (it is the per-call knob);
+            # the deprecated kwargs do not.
+            config = resolve_config(config, exclude_seen=exclude_seen,
+                                    backend=backend).with_overrides(k=k)
+        if config.score_dtype != self.config.score_dtype:
+            # The scoring dtype is structural (the cached item matrix and
+            # every ANN index live in it), not per-call state.
+            raise ValueError(
+                f"per-call score_dtype overrides are not supported: this "
+                f"recommender scores in {self.config.score_dtype}, the config "
+                f"asks for {config.score_dtype}; build a sibling Recommender "
+                f"(e.g. repro.service.Deployment.recommender_for) instead"
+            )
+        if config.backend != "exact":
+            return self._topk_with_index(sequences, config)
+        return self._topk_exact(sequences, config)
+
+    def _topk_exact(self, sequences: Sequence[Sequence[int]],
+                    config: ServingConfig) -> TopKResult:
+        """Dense scan + argpartition extraction (the reference path)."""
+        scores, cold = self.score(sequences, exclude_seen=config.exclude_seen)
+        k = min(config.k, self.num_items)
         candidates = np.argpartition(scores, -k, axis=1)[:, -k:]
         candidate_scores = np.take_along_axis(scores, candidates, axis=1)
         order = np.lexsort((candidates, -candidate_scores), axis=1)
@@ -307,12 +370,13 @@ class Recommender:
         top_scores = np.take_along_axis(candidate_scores, order, axis=1)
         return TopKResult(items=items, scores=top_scores, cold=cold)
 
-    def _topk_with_index(self, sequences: Sequence[Sequence[int]], k: int,
-                         exclude_seen: bool, backend: str) -> TopKResult:
+    def _topk_with_index(self, sequences: Sequence[Sequence[int]],
+                         config: ServingConfig) -> TopKResult:
         """ANN retrieval with seen-item masking via over-fetch + filter."""
+        exclude_seen = config.exclude_seen
         histories, servable, cold = self._classify(sequences)
         batch_size = len(histories)
-        k = min(k, self.num_items)
+        k = min(config.k, self.num_items)
         items = np.full((batch_size, k), -1, dtype=np.int64)
         scores = np.full((batch_size, k), -np.inf, dtype=self.dtype)
 
@@ -324,12 +388,13 @@ class Recommender:
         if warm_rows.size:
             users = self._encode_warm_rows(servable, warm_rows).astype(
                 self.dtype, copy=False)
-            index = self.item_index(backend)
-            # Each row needs k candidates plus room for its own seen items.
-            # Rows are searched in power-of-two fetch buckets so one long
-            # history does not inflate the candidate buffers of the whole
-            # batch.
-            needed = np.full(warm_rows.size, k, dtype=np.int64)
+            index = self.item_index(config.backend)
+            # Each row needs k candidates plus room for its own seen items
+            # (and the configured safety margin).  Rows are searched in
+            # power-of-two fetch buckets so one long history does not inflate
+            # the candidate buffers of the whole batch.
+            needed = np.full(warm_rows.size, k + config.overfetch_margin,
+                             dtype=np.int64)
             if exclude_seen:
                 needed += np.array([len(histories[row]) for row in warm_rows])
             buckets = np.minimum(
@@ -355,8 +420,10 @@ class Recommender:
 
         if exact_rows:
             rows = sorted(exact_rows)
-            fallback = self.topk([sequences[row] for row in rows], k=k,
-                                 exclude_seen=exclude_seen, backend="exact")
+            fallback = self._topk_exact(
+                [sequences[row] for row in rows],
+                config.with_overrides(backend="exact"),
+            )
             items[rows] = fallback.items
             scores[rows] = fallback.scores
         return TopKResult(items=items, scores=scores, cold=cold)

@@ -5,6 +5,7 @@ from .evaluation import (
     compute_metrics,
     evaluate_model,
     evaluate_model_sampled,
+    inference_catalogue_scores,
     mrr_at_k,
     ndcg_at_k,
     recall_at_k,
@@ -20,6 +21,7 @@ __all__ = [
     "compute_metrics",
     "evaluate_model",
     "evaluate_model_sampled",
+    "inference_catalogue_scores",
     "mrr_at_k",
     "ndcg_at_k",
     "quick_train",

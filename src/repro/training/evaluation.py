@@ -16,6 +16,54 @@ from ..data.splits import EvaluationCase
 from ..nn.functional import catalogue_scores
 
 
+#: minimum row count for the full-catalogue scoring matmul.  BLAS routes
+#: very small ``m`` through different kernels (``m == 1`` is a GEMV; some
+#: shapes special-case ``m == 2``) whose accumulation order differs from the
+#: blocked kernels used for real batches, so without a floor a request's
+#: float32 scores would depend on how many other requests it was batched
+#: with.  Padding tiny batches up to 4 rows keeps every batch composition on
+#: the same kernel family — the contract the dynamic micro-batcher's
+#: bit-identity guarantee rests on.  (float64 GEMMs are not row-stable across
+#: batch sizes in general; bit-identical coalescing is a float32-path
+#: property.)
+MIN_SCORING_ROWS = 4
+
+
+def inference_catalogue_scores(model, item_ids: np.ndarray, lengths: np.ndarray,
+                               item_matrix: Optional[np.ndarray] = None,
+                               scoring_matrix: Optional[np.ndarray] = None,
+                               score_dtype=np.float32) -> np.ndarray:
+    """Shared inference scoring entry point (evaluation *and* serving).
+
+    Encodes a left-padded history batch through the model's inference API and
+    scores it against the full catalogue with one matmul in ``score_dtype``
+    (``None`` keeps the model's native precision); the padding column is
+    masked to ``-inf``.  Both the full-ranking evaluator and
+    :class:`repro.serving.Recommender` route warm requests through this
+    function, so an evaluation rank and a served recommendation can never
+    disagree about how a history is scored.
+
+    ``item_matrix`` (model precision, for the embedding lookups) and
+    ``scoring_matrix`` (cast to ``score_dtype``, for the matmul) let callers
+    with per-batch loops hoist the item-matrix computation and the cast out
+    of the loop; both default to being derived on the fly.
+    """
+    if item_matrix is None:
+        item_matrix = model.inference_item_matrix()
+    if scoring_matrix is None:
+        scoring_matrix = (item_matrix if score_dtype is None
+                          else item_matrix.astype(score_dtype, copy=False))
+    users = model.encode_sequences(item_ids, lengths, item_matrix=item_matrix)
+    padding = MIN_SCORING_ROWS - users.shape[0]
+    if padding > 0:  # see MIN_SCORING_ROWS: keep tiny batches off GEMV kernels
+        users = np.concatenate([users, np.repeat(users[-1:], padding, axis=0)])
+    scores = catalogue_scores(users, scoring_matrix, dtype=score_dtype)
+    if padding > 0:
+        scores = scores[:-padding]
+    scores[:, 0] = -np.inf
+    return scores
+
+
 def recall_at_k(ranks: np.ndarray, k: int) -> float:
     """Fraction of cases whose ground-truth item ranks within the top ``k``.
 
@@ -119,10 +167,11 @@ def evaluate_model(model, cases: Sequence[EvaluationCase],
 
     for batch in evaluation_batches(list(cases), batch_size, max_sequence_length):
         if fast_path:
-            users = model.encode_sequences(batch.item_ids, batch.lengths,
-                                           item_matrix=item_matrix)
-            scores = catalogue_scores(users, scoring_matrix, dtype=score_dtype)
-            scores[:, 0] = -np.inf
+            scores = inference_catalogue_scores(
+                model, batch.item_ids, batch.lengths,
+                item_matrix=item_matrix, scoring_matrix=scoring_matrix,
+                score_dtype=score_dtype,
+            )
         else:
             scores = model.predict_scores(batch)
         if candidate_mask is not None:

@@ -29,7 +29,7 @@ from repro.index import (
     topk_best_first,
 )
 from repro.models import ModelConfig, build_model
-from repro.serving import EmbeddingStore, Recommender
+from repro.serving import EmbeddingStore, Recommender, ServingConfig
 from repro.text import encode_items
 
 
@@ -316,11 +316,18 @@ class TestPersistence:
 
 
 class TestServingBackends:
-    def _recommender(self, serving_setup, **kwargs):
+    def _recommender(self, serving_setup, backend="exact", **kwargs):
         _, split, features, model = serving_setup
         return Recommender(model, store=EmbeddingStore(features),
                            train_sequences=split.train_sequences,
-                           dtype=np.float64, **kwargs)
+                           config=ServingConfig(score_dtype="float64",
+                                                backend=backend),
+                           **kwargs)
+
+    @staticmethod
+    def _config(**overrides):
+        """Per-call config matching the float64 test recommenders."""
+        return ServingConfig(score_dtype="float64", **overrides)
 
     def test_full_probe_ivf_matches_exact(self, serving_setup):
         _, split, _, _ = serving_setup
@@ -328,7 +335,7 @@ class TestServingBackends:
             serving_setup, index_params={"n_lists": 8, "nprobe": 8})
         histories = [case.history for case in split.test[:24]]
         exact = recommender.topk(histories, k=5)
-        approx = recommender.topk(histories, k=5, backend="ivf")
+        approx = recommender.topk(histories, config=self._config(k=5, backend="ivf"))
         assert np.array_equal(exact.items, approx.items)
         assert np.allclose(exact.scores, approx.scores)
         assert np.array_equal(exact.cold, approx.cold)
@@ -338,7 +345,7 @@ class TestServingBackends:
         recommender = self._recommender(
             serving_setup, index_params={"n_lists": 8, "nprobe": 8})
         histories = [case.history for case in split.test[:12]]
-        result = recommender.topk(histories, k=5, backend="ivfpq")
+        result = recommender.topk(histories, config=self._config(k=5, backend="ivfpq"))
         assert result.items.shape == (12, 5)
         assert np.all(result.items >= 1)
         assert np.all(result.items <= dataset.num_items)
@@ -348,14 +355,15 @@ class TestServingBackends:
         recommender = self._recommender(
             serving_setup, index_params={"n_lists": 8, "nprobe": 4})
         histories = [case.history for case in split.test[:16]]
-        result = recommender.topk(histories, k=10, backend="ivf")
+        result = recommender.topk(histories, config=self._config(k=10, backend="ivf"))
         for row, history in enumerate(histories):
             assert not set(result.items[row].tolist()) & set(history)
 
     def test_cold_rows_fall_back(self, serving_setup):
         recommender = self._recommender(
             serving_setup, index_params={"n_lists": 8})
-        result = recommender.topk([[], [999_999], [1, 2, 3]], k=5, backend="ivf")
+        result = recommender.topk([[], [999_999], [1, 2, 3]],
+                                  config=self._config(k=5, backend="ivf"))
         assert result.cold.tolist() == [True, True, False]
         assert np.all(result.items[:2] >= 1)
 
@@ -366,7 +374,7 @@ class TestServingBackends:
         _, split, _, _ = serving_setup
         histories = [case.history for case in split.test[:6]]
         default_result = recommender.topk(histories, k=5)
-        explicit = recommender.topk(histories, k=5, backend="ivf")
+        explicit = recommender.topk(histories, config=self._config(k=5, backend="ivf"))
         assert np.array_equal(default_result.items, explicit.items)
 
     def test_index_cached_and_refreshed(self, serving_setup):
@@ -380,6 +388,8 @@ class TestServingBackends:
     def test_invalid_backend_rejected(self, serving_setup):
         recommender = self._recommender(serving_setup)
         with pytest.raises(ValueError):
+            ServingConfig(backend="faiss")
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
             recommender.topk([[1, 2]], k=3, backend="faiss")
         with pytest.raises(ValueError):
             recommender.item_index("exact")

@@ -25,6 +25,7 @@ from repro.nn import Tensor, is_grad_enabled, no_grad
 from repro.serving import (
     EmbeddingStore,
     Recommender,
+    ServingConfig,
     full_sort_topk,
     measure_throughput,
     per_sequence_topk,
@@ -128,9 +129,10 @@ class TestTopKCorrectness:
         """Batched float64 serving ranks exactly like per-sequence evaluation."""
         _, split, features, model = serving_setup
         recommender = Recommender(model, store=EmbeddingStore(features),
-                                  dtype=np.float64)
+                                  config=ServingConfig(score_dtype="float64"))
         histories = [case.history for case in split.test[:16]]
-        batched = recommender.topk(histories, k=10, exclude_seen=False)
+        batched = recommender.topk(histories, config=ServingConfig(
+            k=10, exclude_seen=False, score_dtype="float64"))
         reference = per_sequence_topk(model, histories, k=10)
         for row in range(len(histories)):
             assert np.array_equal(batched.items[row], reference[row])
@@ -146,6 +148,111 @@ class TestTopKCorrectness:
         recommender = Recommender(model)
         with pytest.raises(ValueError):
             recommender.topk([split.test[0].history], k=0)
+
+
+class TestServingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(k=0)
+        with pytest.raises(ValueError):
+            ServingConfig(backend="faiss")
+        with pytest.raises(ValueError):
+            ServingConfig(score_dtype="not-a-dtype")
+        with pytest.raises(ValueError):
+            ServingConfig(overfetch_margin=-1)
+
+    def test_dtype_normalised_and_roundtrips(self):
+        config = ServingConfig(score_dtype=np.float64)
+        assert config.score_dtype == "float64"
+        assert config.np_dtype == np.dtype("float64")
+        assert ServingConfig.from_dict(config.to_dict()) == config
+
+    def test_with_overrides_ignores_none(self):
+        config = ServingConfig(k=7, backend="ivf")
+        assert config.with_overrides(k=None, backend=None) is config
+        assert config.with_overrides(k=3).k == 3
+        with pytest.raises(ValueError):
+            config.with_overrides(knn=5)
+
+    def test_recommender_consumes_config(self, serving_setup):
+        _, split, features, model = serving_setup
+        config = ServingConfig(k=4, score_dtype="float64")
+        recommender = Recommender(model, store=EmbeddingStore(features),
+                                  config=config)
+        assert recommender.dtype == np.dtype("float64")
+        result = recommender.topk([case.history for case in split.test[:3]])
+        assert result.items.shape == (3, 4)  # config.k is the default cut-off
+
+    def test_legacy_kwargs_warn_but_still_work(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        histories = [case.history for case in split.test[:4]]
+        with pytest.warns(DeprecationWarning, match="ServingConfig"):
+            legacy = recommender.topk(histories, k=5, exclude_seen=False)
+        modern = recommender.topk(histories, config=ServingConfig(
+            k=5, exclude_seen=False))
+        assert np.array_equal(legacy.items, modern.items)
+        assert np.array_equal(legacy.scores, modern.scores)
+
+    def test_config_plus_legacy_kwargs_rejected(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        with pytest.raises(ValueError), pytest.warns(DeprecationWarning):
+            recommender.topk([split.test[0].history], exclude_seen=False,
+                             config=ServingConfig())
+
+    def test_constructor_legacy_kwargs_warn_but_still_work(self, serving_setup):
+        _, split, features, model = serving_setup
+        with pytest.warns(DeprecationWarning, match="ServingConfig"):
+            legacy = Recommender(model, store=EmbeddingStore(features),
+                                 dtype=np.float64)
+        assert legacy.config.score_dtype == "float64"
+
+    def test_constructor_config_plus_legacy_kwargs_rejected(self, serving_setup):
+        """Same contract as topk(): an explicit config never silently
+        overrides (or is overridden by) the legacy dtype=/backend= kwargs."""
+        _, _, features, model = serving_setup
+        with pytest.raises(ValueError, match="not both"):
+            Recommender(model, store=EmbeddingStore(features),
+                        dtype=np.float64,
+                        config=ServingConfig(score_dtype="float32"))
+        with pytest.raises(ValueError, match="not both"):
+            Recommender(model, store=EmbeddingStore(features),
+                        backend="ivf", config=ServingConfig())
+
+    def test_k_composes_with_config(self, serving_setup):
+        """k is the per-call knob: it merges into an explicit config instead
+        of forcing the caller to rebuild one."""
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        result = recommender.topk([split.test[0].history], k=3,
+                                  config=ServingConfig(k=10))
+        assert result.items.shape == (1, 3)
+
+    def test_per_call_dtype_change_rejected(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        with pytest.raises(ValueError, match="score_dtype"):
+            recommender.topk([split.test[0].history],
+                             config=ServingConfig(score_dtype="float64"))
+
+    def test_batch_composition_independence(self, serving_setup):
+        """A request's float32 scores must not depend on its batchmates.
+
+        This is the contract dynamic micro-batching relies on: tiny scoring
+        batches are padded onto the same GEMM kernel family as larger ones
+        (see repro.training.evaluation.MIN_SCORING_ROWS), so a request
+        served alone is bit-identical — ids *and* scores — to the same
+        request inside any coalesced batch.
+        """
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        histories = [case.history for case in split.test[:12]] + [[]]
+        batched = recommender.topk(histories, k=8)
+        for row, history in enumerate(histories):
+            alone = recommender.topk([history], k=8)
+            assert np.array_equal(alone.items[0], batched.items[row])
+            assert np.array_equal(alone.scores[0], batched.scores[row])
 
 
 class TestSeenItemMasking:
@@ -316,6 +423,11 @@ class TestCheckpoints:
         assert checkpoint.metadata["num_items"] == model.num_items
         assert checkpoint.metadata["extra"]["note"] == "unit-test"
         assert checkpoint.feature_table is not None
+        summary = checkpoint.summary()
+        assert summary["model_name"] == "whitenrec"
+        assert summary["num_items"] == model.num_items
+        assert summary["has_feature_table"] is True
+        assert summary["num_parameters"] == len(checkpoint.state)
 
     def test_id_model_checkpoint_without_features(self, serving_setup, tmp_path):
         dataset, _, _, _ = serving_setup

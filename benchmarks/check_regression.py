@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Bench regression gate: fail CI when tracked benchmarks regress.
+
+The benchmark suite writes its headline numbers to ``BENCH_*.json`` at the
+repository root, and those files are committed — a per-commit trajectory of
+training throughput (``BENCH_train.json``), serving latency
+(``BENCH_serve_latency.json``) and cold-path encode latency
+(``BENCH_encode.json``).  This script is the first real consumer of that
+trajectory: after CI re-runs the benchmarks, it compares the freshly written
+files against the committed baselines and exits non-zero when
+
+* any **relative** throughput metric (``speedup`` / ``min_speedup`` — a
+  ratio of two measurements from the *same* run, largely
+  hardware-independent) dropped by more than ``--tolerance`` (default 20%),
+* any **absolute** throughput metric (``*_rps``, ``*_per_s``, ``*_per_sec``)
+  dropped by more than ``--absolute-tolerance`` (default 35% — committed
+  baselines come from whatever machine last refreshed them, so absolute
+  numbers carry hardware variance on top of run noise; a wider band keeps
+  the gate meaningful without turning CI red on a slower runner), or
+* any **parity flag** (``identical_*``) flipped from true to false — a
+  bit-identity guarantee breaking is a correctness bug, never noise.
+
+Latency percentiles, metric values and metadata are compared for reporting
+only.
+
+Usage::
+
+    python benchmarks/check_regression.py                 # vs `git show HEAD:`
+    python benchmarks/check_regression.py --baseline-dir X  # vs a directory
+    python benchmarks/check_regression.py --tolerance 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: the tracked benchmark files, in bench-suite order
+TRACKED_FILES = (
+    "BENCH_train.json",
+    "BENCH_serve_latency.json",
+    "BENCH_encode.json",
+)
+
+#: key-name suffixes of *absolute* throughput metrics (hardware-dependent)
+ABSOLUTE_SUFFIXES = ("_rps", "_per_s", "_per_sec", "_per_second")
+
+#: key-name suffixes of *relative* throughput metrics (same-run ratios)
+RELATIVE_SUFFIXES = ("speedup",)
+
+#: key-name prefixes treated as must-not-flip parity flags
+PARITY_PREFIXES = ("identical",)
+
+
+def _flatten(payload: Any, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            yield from _flatten(payload[key], f"{prefix}{key}."
+                                if isinstance(payload[key], dict)
+                                else f"{prefix}{key}")
+    else:
+        yield prefix, payload
+
+
+def _is_absolute_key(key: str) -> bool:
+    leaf = key.rsplit(".", 1)[-1]
+    return any(leaf.endswith(suffix) for suffix in ABSOLUTE_SUFFIXES)
+
+
+def _is_relative_key(key: str) -> bool:
+    leaf = key.rsplit(".", 1)[-1]
+    return any(leaf.endswith(suffix) for suffix in RELATIVE_SUFFIXES)
+
+
+def _is_throughput_key(key: str) -> bool:
+    return _is_absolute_key(key) or _is_relative_key(key)
+
+
+def _is_parity_key(key: str) -> bool:
+    leaf = key.rsplit(".", 1)[-1]
+    return any(leaf.startswith(prefix) for prefix in PARITY_PREFIXES)
+
+
+def _load_fresh(name: str) -> Optional[Dict[str, Any]]:
+    path = REPO_ROOT / name
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _load_baseline(name: str, baseline_dir: Optional[Path],
+                   ref: str) -> Optional[Dict[str, Any]]:
+    if baseline_dir is not None:
+        path = baseline_dir / name
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+    completed = subprocess.run(
+        ["git", "show", f"{ref}:{name}"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if completed.returncode != 0:  # not committed yet (new benchmark)
+        return None
+    return json.loads(completed.stdout)
+
+
+def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
+            tolerance: float,
+            absolute_tolerance: Optional[float] = None
+            ) -> Tuple[List[str], List[str]]:
+    """Return ``(failures, notes)`` for one benchmark file pair."""
+    if absolute_tolerance is None:
+        absolute_tolerance = tolerance
+    failures: List[str] = []
+    notes: List[str] = []
+    baseline_flat = dict(_flatten(baseline))
+    fresh_flat = dict(_flatten(fresh))
+
+    for key, old_value in baseline_flat.items():
+        if key not in fresh_flat:
+            if _is_throughput_key(key) or _is_parity_key(key):
+                failures.append(f"tracked metric {key!r} disappeared")
+            continue
+        new_value = fresh_flat[key]
+        if _is_parity_key(key) and isinstance(old_value, bool):
+            if old_value and not new_value:
+                failures.append(
+                    f"parity flag {key!r} flipped true -> false")
+            elif not old_value and new_value:
+                notes.append(f"parity flag {key!r} now true (improvement)")
+        elif (_is_throughput_key(key)
+              and isinstance(old_value, (int, float))
+              and isinstance(new_value, (int, float))
+              and not isinstance(old_value, bool)):
+            allowed = (absolute_tolerance if _is_absolute_key(key)
+                       else tolerance)
+            floor = old_value * (1.0 - allowed)
+            if new_value < floor:
+                drop = 100.0 * (1.0 - new_value / old_value) if old_value else 0.0
+                failures.append(
+                    f"{key}: {new_value:.3f} vs baseline {old_value:.3f} "
+                    f"(-{drop:.1f}%, tolerance {allowed:.0%})")
+            else:
+                notes.append(f"{key}: {new_value:.3f} "
+                             f"(baseline {old_value:.3f}) ok")
+    return failures, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop of relative (speedup) "
+                             "metrics (default 0.20 = 20%%)")
+    parser.add_argument("--absolute-tolerance", type=float, default=0.35,
+                        help="allowed fractional drop of absolute throughput "
+                             "metrics — wider, because committed baselines "
+                             "carry the baseline machine's speed "
+                             "(default 0.35 = 35%%)")
+    parser.add_argument("--baseline-dir", type=Path, default=None,
+                        help="directory with baseline BENCH_*.json files "
+                             "(default: read them from `git show REF:`)")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref for committed baselines (default HEAD)")
+    parser.add_argument("--files", nargs="*", default=list(TRACKED_FILES),
+                        help="benchmark files to check")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+    if not 0.0 <= args.absolute_tolerance < 1.0:
+        parser.error(f"--absolute-tolerance must be in [0, 1), "
+                     f"got {args.absolute_tolerance}")
+
+    exit_code = 0
+    checked = 0
+    for name in args.files:
+        fresh = _load_fresh(name)
+        baseline = _load_baseline(name, args.baseline_dir, args.ref)
+        if baseline is None:
+            print(f"[check_regression] {name}: no committed baseline "
+                  f"(new benchmark) — skipped")
+            continue
+        if fresh is None:
+            print(f"[check_regression] {name}: FAIL — baseline exists but "
+                  f"the benchmark did not write a fresh file")
+            exit_code = 1
+            continue
+        failures, notes = compare(baseline, fresh, args.tolerance,
+                                  args.absolute_tolerance)
+        checked += 1
+        for note in notes:
+            print(f"[check_regression] {name}: {note}")
+        for failure in failures:
+            print(f"[check_regression] {name}: FAIL — {failure}")
+        if failures:
+            exit_code = 1
+        else:
+            print(f"[check_regression] {name}: ok")
+    if checked == 0 and exit_code == 0:
+        print("[check_regression] nothing to check (no baselines found)")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

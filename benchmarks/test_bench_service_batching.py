@@ -14,7 +14,7 @@ recovers when concurrent clients each send one request at a time:
 Results must be *identical* (ids and scores — the exact float32 scoring path
 is batch-composition independent, see
 ``repro.training.evaluation.MIN_SCORING_ROWS``), the
-coalesced mode must be at least 3x faster, and the numbers (throughput plus
+coalesced mode must be at least 2x faster, and the numbers (throughput plus
 client-observed p50/p95 latency) are recorded in ``BENCH_serve_latency.json``
 at the repository root (uploaded as a CI artifact) so the serving-latency
 trajectory is tracked per commit.
@@ -180,7 +180,13 @@ def test_service_batching_throughput(benchmark, scale):
         "coalesced serving diverged from per-request results"
     )
     assert result["max_batch_observed"] >= 2, "nothing coalesced"
-    assert result["speedup"] >= 3.0, (
+    # Originally >= 3x; the PR-5 compiled inference engine sped this bench's
+    # *per-request* baseline ~1.8x (every unbatched call now encodes through
+    # the graph-free plan), so the relative batching win shrank while both
+    # absolute throughputs rose.  Measured now ~2.5x; 2x still cleanly
+    # catches the regression this guards — batching accidentally serving
+    # per-request.
+    assert result["speedup"] >= 2.0, (
         f"dynamic batching only {result['speedup']:.1f}x faster than "
-        f"per-request serving (expected >= 3x)"
+        f"per-request serving (expected >= 2x)"
     )

@@ -12,13 +12,16 @@ Public surface:
 * :mod:`repro.training`   — trainer, early stopping, Recall@K / NDCG@K evaluation
 * :mod:`repro.analysis`   — anisotropy, alignment/uniformity, conditioning, t-SNE
 * :mod:`repro.experiments`— one runner per paper table/figure
+* :mod:`repro.infer`      — graph-free compiled inference engine (buffer-arena
+  forward plans bit-identical to the graph, incremental session cache)
 * :mod:`repro.serving`    — batched, cache-backed top-K recommendation serving
 * :mod:`repro.service`    — multi-model serving API (typed requests, deployment
   registry, dynamic micro-batching, JSONL/HTTP front-ends)
 """
 
-from . import analysis, data, experiments, index, models, nn, service, serving, text, training, whitening
+from . import analysis, data, experiments, index, infer, models, nn, service, serving, text, training, whitening
 from .data import load_dataset
+from .infer import InferenceEngine, compile_plan
 from .models import ModelConfig, WhitenRec, WhitenRecPlus, build_model
 from .service import Deployment, ModelRegistry, RecommenderService
 from .serving import EmbeddingStore, Recommender, ServingConfig
@@ -29,6 +32,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Deployment",
     "EmbeddingStore",
+    "InferenceEngine",
     "ModelConfig",
     "ModelRegistry",
     "Recommender",
@@ -40,10 +44,12 @@ __all__ = [
     "WhitenRecPlus",
     "analysis",
     "build_model",
+    "compile_plan",
     "data",
     "evaluate_model",
     "experiments",
     "index",
+    "infer",
     "load_dataset",
     "models",
     "nn",

@@ -100,6 +100,14 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="training epochs when no checkpoint is loaded")
     serve_parser.add_argument("--k", type=int, default=10,
                               help="top-K cut-off (number of items per request)")
+    serve_parser.add_argument("--engine", default="compiled",
+                              help="sequence-encoding engine: 'compiled' "
+                                   "(graph-free plan, default) or 'graph' "
+                                   "(nn.no_grad reference)")
+    serve_parser.add_argument("--session-cache", type=int, default=0,
+                              metavar="N",
+                              help="entries of the compiled engine's "
+                                   "incremental session cache (0 disables)")
     serve_parser.add_argument("--backend", default="exact",
                               metavar="{exact,ivf,ivfpq}",
                               help="retrieval backend: exact dense scan or an "
@@ -230,7 +238,8 @@ def _command_serve(args) -> int:
     from .data.splits import leave_one_out_split
     from .experiments.persistence import load_checkpoint, load_model, save_checkpoint
     from .models import ModelConfig, build_model, display_label
-    from .serving import SERVING_BACKENDS, EmbeddingStore, Recommender, ServingConfig, measure_throughput
+    from .serving import (SERVING_BACKENDS, SERVING_ENGINES, EmbeddingStore,
+                          Recommender, ServingConfig, measure_throughput)
     from .service import Deployment, ModelRegistry, RecommenderService, serve_http, serve_jsonl
     from .training import quick_train
 
@@ -240,8 +249,15 @@ def _command_serve(args) -> int:
     if args.backend not in SERVING_BACKENDS:
         return _fail(f"unknown backend {args.backend!r} "
                      f"(expected one of {', '.join(SERVING_BACKENDS)})")
+    if args.engine not in SERVING_ENGINES:
+        return _fail(f"unknown engine {args.engine!r} "
+                     f"(expected one of {', '.join(SERVING_ENGINES)})")
+    if args.session_cache < 0:
+        return _fail(f"--session-cache must be >= 0, got {args.session_cache}")
     try:
-        serving_config = ServingConfig(k=args.k, backend=args.backend)
+        serving_config = ServingConfig(k=args.k, backend=args.backend,
+                                       engine=args.engine,
+                                       session_cache=args.session_cache)
     except ValueError as error:
         return _fail(str(error))
 
@@ -367,6 +383,16 @@ def _command_serve(args) -> int:
         print(f"throughput: {report.sequences_per_second:,.0f} sequences/second "
               f"({report.num_sequences} requests x {report.repeats} repeats "
               f"in {report.seconds:.3f}s)")
+        engine_stats = registry.get(args.dataset).recommender.engine_stats()
+        engine_line = f"engine: {engine_stats.get('engine', 'graph')}"
+        cache_stats = engine_stats.get("session_cache")
+        if isinstance(cache_stats, dict) and cache_stats.get("enabled"):
+            engine_line += (f"  session-cache hit rate: "
+                            f"{cache_stats['hit_rate']:.1%} "
+                            f"({cache_stats['hits']} exact + "
+                            f"{cache_stats['prefix_hits']} incremental / "
+                            f"{cache_stats['entries']} entries)")
+        print(engine_line)
     return 0
 
 

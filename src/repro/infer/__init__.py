@@ -1,0 +1,42 @@
+"""Graph-free compiled inference engine.
+
+Training needs the autodiff substrate; serving does not.  This package
+compiles a trained :class:`~repro.models.base.SequentialRecommender` into a
+pure-numpy forward plan — weights snapshotted as contiguous arrays,
+intermediates written into a preallocated shape-bucketed buffer arena — and
+wraps it in an :class:`InferenceEngine` with an optional LRU session cache
+for incremental re-encoding of returning users.
+
+The compiled plan is **bit-identical** (ids and scores) to the
+``nn.no_grad`` graph path at equal dtype for every registered model family;
+``repro.serving.Recommender`` routes warm-request encoding through it by
+default (``ServingConfig.engine == "compiled"``), keeping ``engine="graph"``
+as the bit-exactness reference.
+"""
+
+from .arena import BufferArena
+from .engine import InferenceEngine
+from .plans import (
+    FDSAPlan,
+    GRUPlan,
+    InferencePlan,
+    MeanPoolPlan,
+    TransformerPlan,
+    UnsupportedModelError,
+    compile_plan,
+)
+from .session import SessionCache, SessionEntry
+
+__all__ = [
+    "BufferArena",
+    "FDSAPlan",
+    "GRUPlan",
+    "InferenceEngine",
+    "InferencePlan",
+    "MeanPoolPlan",
+    "SessionCache",
+    "SessionEntry",
+    "TransformerPlan",
+    "UnsupportedModelError",
+    "compile_plan",
+]

@@ -1,0 +1,119 @@
+"""LRU session cache for incremental inference encoding.
+
+Serving traffic is dominated by *returning* sessions: the same user comes
+back with either an unchanged history (page refresh, scroll) or one appended
+interaction.  The :class:`SessionCache` keys encoder state by the exact
+truncated history window, so:
+
+* an **exact hit** (same window) answers with the cached user representation
+  and no encoder work at all;
+* a **prefix hit** (window = cached window + one new item) lets architectures
+  with carry-forward state — GRU4Rec's hidden state, the mean-pooling models'
+  running sum — re-encode only the appended suffix;
+* anything else (miss, or a slid window that dropped its oldest item) falls
+  back to a full re-encode, whose state is then cached.
+
+Keys are the actual item-id tuples (dict equality, not hashes alone), so two
+different histories can never collide into each other's state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+SessionKey = Tuple[int, ...]
+
+
+class SessionEntry:
+    """Cached state for one history window."""
+
+    __slots__ = ("user", "state")
+
+    def __init__(self, user, state=None):
+        #: the encoded user representation for the window
+        self.user = user
+        #: optional family-specific incremental state (e.g. GRU hidden)
+        self.state = state
+
+
+class SessionCache:
+    """Bounded LRU mapping history windows to encoder state.
+
+    Not thread-safe on its own; the owning
+    :class:`~repro.infer.engine.InferenceEngine` serialises access.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[SessionKey, SessionEntry]" = OrderedDict()
+        self.hits = 0
+        self.prefix_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: SessionKey) -> bool:
+        return tuple(key) in self._entries
+
+    def lookup(self, key: SessionKey) -> Optional[SessionEntry]:
+        """Exact-window lookup; refreshes LRU order and counts a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def lookup_prefix(self, key: SessionKey) -> Optional[SessionEntry]:
+        """Prefix lookup for ``key`` = cached window + one appended item.
+
+        Counts a *prefix* hit and refreshes the prefix entry's LRU slot (the
+        caller is about to supersede it with the extended window).
+        """
+        if len(key) < 2:
+            return None
+        prefix = key[:-1]
+        entry = self._entries.get(prefix)
+        if entry is None or entry.state is None:
+            return None
+        self._entries.move_to_end(prefix)
+        self.prefix_hits += 1
+        return entry
+
+    def miss(self) -> None:
+        self.misses += 1
+
+    def store(self, key: SessionKey, entry: SessionEntry) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail when full."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (exact + prefix)."""
+        total = self.hits + self.prefix_hits + self.misses
+        if total == 0:
+            return 0.0
+        return (self.hits + self.prefix_hits) / total
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "prefix_hits": self.prefix_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

@@ -26,7 +26,7 @@ from .layers import (
     Sequential,
     Tanh,
 )
-from .module import Module, Parameter
+from .module import Module, Parameter, export_array
 from .optim import Adam, Optimizer, SGD, clip_grad_norm
 from .tensor import (
     Tensor,
@@ -74,6 +74,7 @@ __all__ = [
     "TransformerEncoder",
     "clip_grad_norm",
     "concatenate",
+    "export_array",
     "functional",
     "init",
     "is_grad_enabled",

@@ -15,6 +15,18 @@ import numpy as np
 from .tensor import Tensor, get_default_dtype
 
 
+def export_array(value) -> np.ndarray:
+    """A contiguous, detached snapshot of a tensor's (or array's) values.
+
+    The graph-free inference engine (:mod:`repro.infer`) compiles models into
+    plain-numpy forward plans; every weight it captures goes through this
+    helper so the plan owns C-contiguous copies that later in-place optimiser
+    steps or ``load_state_dict`` calls can never mutate underneath it.
+    """
+    data = value.data if isinstance(value, Tensor) else np.asarray(value)
+    return np.array(data, order="C", copy=True)
+
+
 class Parameter(Tensor):
     """A trainable tensor.
 
@@ -116,6 +128,17 @@ class Module:
     def state_dict(self) -> Dict[str, np.ndarray]:
         """Return a name → array snapshot of all parameters."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def export_weights(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Name → contiguous detached snapshot of every parameter.
+
+        Unlike :meth:`state_dict` (whose copies inherit the parameter's
+        memory layout) the exported arrays are guaranteed C-contiguous, which
+        is what the compiled inference plans of :mod:`repro.infer` feed
+        straight into BLAS calls.
+        """
+        return {name: export_array(param)
+                for name, param in self.named_parameters(prefix)}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         """Load parameter values saved by :meth:`state_dict`."""

@@ -38,7 +38,9 @@ class BatchedResult:
 
     ``queue_ms`` is the time the request spent waiting for its batch to be
     assembled; ``compute_ms`` the duration of the shared scoring call;
-    ``batch_size`` how many requests that call served.
+    ``batch_size`` how many requests that call served.  ``engine`` and
+    ``encode_ms`` report which sequence-encoding engine ran the call's warm
+    rows and what the encode cost (per call, not per row).
     """
 
     items: np.ndarray
@@ -48,6 +50,8 @@ class BatchedResult:
     queue_ms: float
     compute_ms: float
     batch_size: int
+    engine: str = "graph"
+    encode_ms: float = 0.0
 
 
 @dataclass
@@ -301,6 +305,8 @@ class DynamicBatcher:
                     queue_ms=(started - pending.enqueued_at) * 1000.0,
                     compute_ms=compute_ms,
                     batch_size=len(members),
+                    engine=result.engine,
+                    encode_ms=result.encode_ms,
                 ))
 
         with self._wake:

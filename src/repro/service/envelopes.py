@@ -127,7 +127,9 @@ class RecommendResponse:
     Besides the recommendations themselves, the envelope reports how the
     request was served: which deployment (and deployment version, so a client
     can observe a hot-swap), which retrieval backend and path (warm sequence
-    encoder vs cold fallback), how long the request waited for its batch
+    encoder vs cold fallback), which sequence-encoding ``engine`` ran the
+    warm rows (``"compiled"`` graph-free plan or the ``"graph"`` reference)
+    and its ``encode_ms`` cost, how long the request waited for its batch
     (``queue_ms``), how long the scoring took (``compute_ms``), and how many
     requests shared that scoring call (``batch_size``).
     """
@@ -142,6 +144,8 @@ class RecommendResponse:
     queue_ms: float
     compute_ms: float
     batch_size: int
+    engine: str = "graph"
+    encode_ms: float = 0.0
     request_id: Optional[str] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
@@ -158,6 +162,8 @@ class RecommendResponse:
             "queue_ms": round(float(self.queue_ms), 3),
             "compute_ms": round(float(self.compute_ms), 3),
             "batch_size": self.batch_size,
+            "engine": self.engine,
+            "encode_ms": round(float(self.encode_ms), 3),
         }
         if self.request_id is not None:
             payload["request_id"] = self.request_id

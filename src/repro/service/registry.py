@@ -61,9 +61,11 @@ class Deployment:
         default-precision recommender is shared with the micro-batcher;
         per-dtype siblings (for requests carrying a ``score_dtype`` override,
         or a wrapped recommender whose structural dtype disagrees with the
-        deployment policy) share the model, store and popularity prior but
-        keep their own cached item matrix in the requested precision.  Built
-        lazily, cached per dtype.
+        deployment policy) share the model, store, popularity prior, the
+        generation-stamped item-matrix cache (so alternating-dtype traffic
+        casts the catalogue once per dtype, not per switch) and the compiled
+        inference engine (encoding runs in model precision either way).
+        Built lazily, cached per dtype.
         """
         canonical = np.dtype(score_dtype if score_dtype is not None
                              else self.config.score_dtype).name
@@ -82,17 +84,24 @@ class Deployment:
                 # The popularity prior comes from the training sequences,
                 # which the variant has no access to — share the fitted one.
                 variant._popularity = base._popularity
+                variant.share_serving_caches(base)
                 self._dtype_variants[canonical] = variant
             return self._dtype_variants[canonical]
 
     def describe(self) -> Dict[str, Any]:
-        """JSON-serialisable summary for listings and the stats endpoint."""
+        """JSON-serialisable summary for listings and the stats endpoint.
+
+        Includes the sequence-encoding engine actually in use and, when the
+        compiled engine is active, its diagnostics (session-cache hit rate,
+        arena footprint, encode counters).
+        """
         summary: Dict[str, Any] = {
             "name": self.name,
             "version": self.version,
             "model": self.model_name,
             "num_items": self.num_items,
             "config": self.config.to_dict(),
+            "engine": self.recommender.engine_stats(),
         }
         if self.source is not None:
             summary["source"] = self.source

@@ -227,6 +227,7 @@ class RecommenderService:
             items=result.items[0], scores=result.scores[0],
             cold=bool(result.cold[0]), backend=config.backend,
             queue_ms=0.0, compute_ms=compute_ms, batch_size=1,
+            engine=result.engine, encode_ms=result.encode_ms,
         )
         return self._to_response(request, deployment, batched)
 
@@ -245,6 +246,8 @@ class RecommenderService:
             queue_ms=result.queue_ms,
             compute_ms=result.compute_ms,
             batch_size=result.batch_size,
+            engine=result.engine,
+            encode_ms=result.encode_ms,
             request_id=request.request_id,
         )
 

@@ -19,6 +19,11 @@ import numpy as np
 #: retrieval backends accepted by the serving stack
 SERVING_BACKENDS = ("exact", "ivf", "ivfpq")
 
+#: sequence-encoding engines accepted by the serving stack: the ``nn.no_grad``
+#: autodiff graph (the bit-exactness reference) or the graph-free compiled
+#: plan of :mod:`repro.infer` (the default — bit-identical and faster)
+SERVING_ENGINES = ("graph", "compiled")
+
 
 @dataclass(frozen=True)
 class ServingConfig:
@@ -42,6 +47,19 @@ class ServingConfig:
         Extra candidates fetched per row on the ANN path beyond the
         ``k + len(history)`` minimum, trading a slightly wider scan for fewer
         exact-path fallbacks when filtering leaves a row short.
+    engine:
+        Sequence-encoding engine for warm requests: ``"compiled"`` (default)
+        runs the graph-free plan of :mod:`repro.infer` — bit-identical to the
+        graph at equal dtype, without Tensor wrappers or per-op allocation —
+        while ``"graph"`` keeps the ``nn.no_grad`` autodiff path as the
+        bit-exactness reference.
+    session_cache:
+        Max entries of the compiled engine's incremental session cache
+        (``0``, the default, disables it).  With the cache on, repeated and
+        one-item-appended histories skip or shorten re-encoding; results
+        match the graph to top-k (bitwise for pure single-row traffic) but
+        cached rows change GEMM batch compositions, so scores are no longer
+        guaranteed bit-identical under arbitrary batching — hence opt-in.
     """
 
     k: int = 10
@@ -49,6 +67,8 @@ class ServingConfig:
     score_dtype: str = "float32"
     exclude_seen: bool = True
     overfetch_margin: int = 0
+    engine: str = "compiled"
+    session_cache: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
@@ -68,6 +88,17 @@ class ServingConfig:
             raise ValueError(
                 f"overfetch_margin must be a non-negative integer, "
                 f"got {self.overfetch_margin!r}"
+            )
+        if self.engine not in SERVING_ENGINES:
+            raise ValueError(
+                f"engine must be one of {SERVING_ENGINES}, got {self.engine!r}"
+            )
+        if (isinstance(self.session_cache, bool)
+                or not isinstance(self.session_cache, int)
+                or self.session_cache < 0):
+            raise ValueError(
+                f"session_cache must be a non-negative integer, "
+                f"got {self.session_cache!r}"
             )
 
     @property
@@ -102,6 +133,8 @@ class ServingConfig:
             "score_dtype": self.score_dtype,
             "exclude_seen": self.exclude_seen,
             "overfetch_margin": self.overfetch_margin,
+            "engine": self.engine,
+            "session_cache": self.session_cache,
         }
 
     @classmethod

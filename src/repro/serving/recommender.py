@@ -11,7 +11,11 @@ The serving fast path exploits two structural facts from the paper:
 
 The scoring runs outside the autodiff graph (:class:`repro.nn.no_grad`) in
 float32 by default, which halves memory traffic relative to the float64
-training substrate.
+training substrate.  Warm-request *sequence encoding* additionally routes
+through the graph-free compiled engine of :mod:`repro.infer` by default
+(``ServingConfig.engine == "compiled"``) — bit-identical to the graph path
+at equal dtype, without Tensor wrappers or per-op allocation;
+``engine="graph"`` keeps the autodiff path as the bit-exactness reference.
 
 Requests whose history contains no item the sequence encoder can use (empty
 histories, ids outside the model's catalogue, or only items from an explicit
@@ -23,14 +27,17 @@ popularity prior estimated from the training sequences.
 
 from __future__ import annotations
 
+import threading
+import time
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.dataloader import pad_sequences
 from ..index import ItemIndex, build_index
+from ..infer import InferenceEngine, UnsupportedModelError
 from ..training.evaluation import inference_catalogue_scores
 from .config import SERVING_BACKENDS, ServingConfig, resolve_config
 from .store import EmbeddingStore
@@ -49,14 +56,93 @@ class TopKResult:
     cold:
         ``(batch,)`` boolean; True where the content/popularity fallback was
         used instead of the sequence encoder.
+    engine:
+        Which sequence-encoding engine served the warm rows (``"compiled"``
+        or ``"graph"``).
+    encode_ms:
+        Wall-clock milliseconds the warm-row sequence encoding took for this
+        call (0 when every row was cold).
     """
 
     items: np.ndarray
     scores: np.ndarray
     cold: np.ndarray
+    engine: str = "graph"
+    encode_ms: float = 0.0
 
     def __len__(self) -> int:
         return self.items.shape[0]
+
+
+class _ItemMatrixCache:
+    """Generation-stamped memo of the candidate matrix and its dtype casts.
+
+    One cache serves a model and *all* of its per-dtype sibling recommenders
+    (see :meth:`repro.service.Deployment.recommender_for`): the float64
+    inference matrix is derived from the model once per generation, and each
+    requested scoring dtype is cast exactly once — alternating float32 /
+    float64 traffic no longer re-casts (or re-derives) the catalogue on every
+    switch.  :attr:`cast_count` counts real casts for regression tests.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self.generation = 0
+        #: number of dtype casts actually performed (not cache hits)
+        self.cast_count = 0
+        #: number of model item-matrix derivations performed
+        self.derive_count = 0
+        self._native: Optional[np.ndarray] = None
+        self._casts: Dict[str, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    def native(self) -> np.ndarray:
+        """The model-precision candidate matrix (derived once per generation)."""
+        with self._lock:
+            if self._native is None:
+                self._native = self.model.inference_item_matrix()
+                self.derive_count += 1
+            return self._native
+
+    def cast(self, dtype) -> np.ndarray:
+        """The candidate matrix in ``dtype`` (cast once per generation)."""
+        canonical = np.dtype(dtype).name
+        native = self.native()
+        with self._lock:
+            cached = self._casts.get(canonical)
+            if cached is None:
+                if native.dtype == np.dtype(dtype):
+                    cached = native
+                else:
+                    cached = native.astype(dtype)
+                    self.cast_count += 1
+                self._casts[canonical] = cached
+            return cached
+
+    def refresh(self) -> None:
+        """Invalidate after the model changed (new generation)."""
+        with self._lock:
+            self.generation += 1
+            self._native = None
+            self._casts.clear()
+
+
+class _EngineSlot:
+    """Shared lazy-build slot for one model's compiled engine.
+
+    Dtype-sibling recommenders hold the same slot, so whichever sibling
+    encodes first compiles the plan for all of them.
+    """
+
+    def __init__(self):
+        self.engine: Optional[InferenceEngine] = None
+        self.unsupported = False
+        self.lock = threading.Lock()
+
+    def reset(self) -> None:
+        with self.lock:
+            self.engine = None
+            self.unsupported = False
 
 
 def full_sort_topk(scores: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -151,8 +237,11 @@ class Recommender:
                 f"{self.num_items}; the cold-start fallback needs an embedding "
                 f"for every catalogue item"
             )
-        self._item_matrix64: Optional[np.ndarray] = None
-        self._item_matrix: Optional[np.ndarray] = None
+        self._matrix_cache = _ItemMatrixCache(model)
+        self._cache_generation = 0
+        self._fallback_tables: Dict[Tuple[str, str, str], np.ndarray] = {}
+        self._popularity_cast: Optional[np.ndarray] = None
+        self._engine_slot = _EngineSlot()
         self._popularity: Optional[np.ndarray] = None
         if train_sequences is not None:
             counts = np.zeros(self.num_items + 1, dtype=np.float64)
@@ -164,21 +253,107 @@ class Recommender:
             self._popularity = counts / total if total > 0 else counts
 
     # ------------------------------------------------------------------ #
-    # Cached matrices
+    # Cached matrices & compiled engine
     # ------------------------------------------------------------------ #
     def item_matrix(self) -> np.ndarray:
-        """The frozen candidate matrix ``V`` in scoring precision (cached)."""
-        if self._item_matrix is None:
-            self._item_matrix64 = self.model.inference_item_matrix()
-            self._item_matrix = self._item_matrix64.astype(self.dtype, copy=False)
-        return self._item_matrix
+        """The frozen candidate matrix ``V`` in scoring precision.
+
+        Derivations and dtype casts are memoised per
+        :meth:`refresh_item_matrix` generation in a cache shared with the
+        per-dtype sibling recommenders of a deployment, so alternating
+        ``score_dtype`` traffic never re-casts the catalogue.
+        """
+        self._sync_generation()
+        return self._matrix_cache.cast(self.dtype)
+
+    def _sync_generation(self) -> None:
+        """Drop per-recommender derived caches when a *sibling* refreshed.
+
+        The matrix cache and engine slot are shared across dtype siblings,
+        but each recommender keeps its own ANN indexes and fallback casts;
+        comparing the shared generation stamp here keeps those consistent no
+        matter which sibling called :meth:`refresh_item_matrix`.
+        """
+        generation = self._matrix_cache.generation
+        if self._cache_generation != generation:
+            self._cache_generation = generation
+            self._indexes.clear()
+            self._fallback_tables.clear()
+            self._popularity_cast = None
 
     def refresh_item_matrix(self) -> None:
-        """Drop the cached ``V`` and every index built on it (call after
-        fine-tuning the model)."""
-        self._item_matrix = None
-        self._item_matrix64 = None
-        self._indexes.clear()
+        """Drop the cached ``V``, every index built on it, and the compiled
+        engine (its weight snapshot is stale) — call after fine-tuning the
+        model.  Dtype siblings sharing this recommender's caches pick the
+        new generation up on their next call."""
+        self._matrix_cache.refresh()
+        self._engine_slot.reset()
+        self._sync_generation()
+
+    def engine(self, requested: Optional[str] = None) -> Optional[InferenceEngine]:
+        """The compiled graph-free engine, or ``None`` on the graph path.
+
+        ``requested`` is a per-call engine choice (``"graph"`` /
+        ``"compiled"``); ``None`` follows the configured default.  Built
+        lazily on first use — including when a per-call override asks for
+        the compiled engine on a graph-configured recommender; model classes
+        without a compiled plan fall back to the graph path once and for
+        all.  Dtype siblings share one engine (encoding runs in model
+        precision regardless of the scoring dtype) via
+        :meth:`share_serving_caches`.
+        """
+        kind = requested if requested is not None else self.config.engine
+        if kind != "compiled":
+            return None
+        slot = self._engine_slot
+        if slot.engine is None and not slot.unsupported:
+            with slot.lock:
+                if slot.engine is None and not slot.unsupported:
+                    try:
+                        slot.engine = InferenceEngine(
+                            self.model,
+                            session_cache_size=self.config.session_cache,
+                        )
+                    except UnsupportedModelError:
+                        slot.unsupported = True
+        return slot.engine
+
+    @property
+    def engine_name(self) -> str:
+        """``"compiled"`` or ``"graph"`` — the engine warm rows encode on."""
+        return "compiled" if self.engine() is not None else "graph"
+
+    def engine_stats(self) -> Dict[str, object]:
+        """JSON-serialisable engine diagnostics (session-cache hit rate,
+        arena size, encode counters); minimal on the graph path.
+
+        Never triggers compilation: a deployment listing reports
+        ``compiled: False`` until the first warm request builds the plan.
+        """
+        if self.config.engine != "compiled":
+            return {"engine": "graph"}
+        slot = self._engine_slot
+        if slot.unsupported:
+            return {"engine": "graph", "fallback": "unsupported-model"}
+        if slot.engine is None:
+            return {"engine": "compiled", "compiled": False}
+        stats = slot.engine.stats()
+        stats["compiled"] = True
+        return stats
+
+    def share_serving_caches(self, other: "Recommender") -> None:
+        """Adopt ``other``'s item-matrix cache and compiled engine.
+
+        Used by :meth:`repro.service.Deployment.recommender_for` when
+        building per-dtype siblings: the underlying model is the same object,
+        so the float64 matrix, its dtype casts, and the compiled plan can all
+        be shared instead of re-derived per sibling.
+        """
+        if other.model is not self.model:
+            raise ValueError("serving caches can only be shared between "
+                             "recommenders wrapping the same model object")
+        self._matrix_cache = other._matrix_cache
+        self._engine_slot = other._engine_slot
 
     def item_index(self, backend: str = "ivf") -> ItemIndex:
         """The ANN index over the candidate matrix for ``backend`` (cached).
@@ -190,6 +365,7 @@ class Recommender:
         """
         if backend not in SERVING_BACKENDS or backend == "exact":
             raise ValueError(f"no index backs the {backend!r} backend")
+        self._sync_generation()
         if backend not in self._indexes:
             index = build_index(backend, **self.index_params)
             index.build(self.item_matrix()[1:],
@@ -230,25 +406,63 @@ class Recommender:
                           for row in warm_rows]
         return pad_sequences(warm_histories, self.model.max_seq_length)
 
+    def _encoder(self, engine_kind: Optional[str] = None
+                 ) -> Tuple[Callable, Dict[str, float]]:
+        """A timed sequence encoder honouring the engine choice.
+
+        Returns ``(encode, timing)``: ``encode`` has the
+        ``model.encode_sequences`` contract and records its wall-clock cost
+        into ``timing["ms"]`` (a per-call cell, so concurrent requests never
+        race on shared state).
+        """
+        timing = {"ms": 0.0}
+        engine = self.engine(engine_kind)
+        if engine is not None:
+            def encode(item_ids, lengths, item_matrix=None,
+                       engine=engine, timing=timing):
+                started = time.perf_counter()
+                users = engine.encode_sequences(item_ids, lengths, item_matrix)
+                timing["ms"] += (time.perf_counter() - started) * 1000.0
+                return users
+        else:
+            def encode(item_ids, lengths, item_matrix=None, timing=timing):
+                started = time.perf_counter()
+                users = self.model.encode_sequences(
+                    item_ids, lengths, item_matrix=item_matrix)
+                timing["ms"] += (time.perf_counter() - started) * 1000.0
+                return users
+        return encode, timing
+
+    def _engine_label(self, engine_kind: Optional[str] = None) -> str:
+        """Which engine :meth:`_encoder` would pick for ``engine_kind``."""
+        return "compiled" if self.engine(engine_kind) is not None else "graph"
+
     def _encode_warm_rows(self, servable: Sequence[List[int]],
-                          warm_rows: np.ndarray) -> np.ndarray:
+                          warm_rows: np.ndarray,
+                          encoder: Optional[Callable] = None) -> np.ndarray:
         """User representations for the warm rows of a classified batch."""
         item_ids, lengths = self._warm_batch(servable, warm_rows)
-        return self.model.encode_sequences(
-            item_ids, lengths, item_matrix=self._warm_matrix64()
-        )
+        encode = (encoder if encoder is not None
+                  else self.model.encode_sequences)
+        return encode(item_ids, lengths, item_matrix=self._warm_matrix64())
 
     # ------------------------------------------------------------------ #
     # Scoring
     # ------------------------------------------------------------------ #
     def score(self, sequences: Sequence[Sequence[int]],
-              exclude_seen: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+              exclude_seen: bool = True,
+              engine: Optional[str] = None,
+              encode_timing: Optional[Dict[str, float]] = None
+              ) -> Tuple[np.ndarray, np.ndarray]:
         """Full-catalogue scores for a batch of request histories.
 
         Returns ``(scores, cold)`` where ``scores`` has shape
         ``(batch, num_items + 1)`` with the padding item (and, when
         ``exclude_seen``, every history item) masked to ``-inf``, and ``cold``
-        flags the rows that used the fallback path.
+        flags the rows that used the fallback path.  ``engine`` overrides the
+        configured sequence-encoding engine for this call (``"graph"`` /
+        ``"compiled"``); ``encode_timing`` (a mutable mapping) receives the
+        warm-row encode cost under ``"ms"``.
         """
         histories, servable, cold = self._classify(sequences)
         batch_size = len(histories)
@@ -257,6 +471,7 @@ class Recommender:
         warm_rows = np.flatnonzero(~cold)
         if warm_rows.size:
             item_ids, lengths = self._warm_batch(servable, warm_rows)
+            encode, timing = self._encoder(engine)
             # The shared entry point pads tiny batches up to MIN_SCORING_ROWS
             # so scores never depend on batch composition (the contract the
             # dynamic micro-batcher's bit-identity guarantee rests on).
@@ -264,7 +479,10 @@ class Recommender:
                 self.model, item_ids, lengths,
                 item_matrix=self._warm_matrix64(),
                 scoring_matrix=self.item_matrix(), score_dtype=self.dtype,
+                encoder=encode,
             )
+            if encode_timing is not None:
+                encode_timing["ms"] = timing["ms"]
 
         cold_rows = np.flatnonzero(cold)
         if cold_rows.size:
@@ -278,24 +496,38 @@ class Recommender:
         return scores, cold
 
     def _warm_matrix64(self) -> np.ndarray:
-        self.item_matrix()
-        return self._item_matrix64
+        """The model-precision matrix for embedding lookups (memoised)."""
+        return self._matrix_cache.native()
 
     def _fallback_scores(self, histories: Sequence[Sequence[int]]) -> np.ndarray:
         """Content-based (whitened text space) or popularity fallback scores."""
         batch = len(histories)
         scores = np.zeros((batch, self.num_items + 1), dtype=self.dtype)
+        self._sync_generation()
         table: Optional[np.ndarray] = None
         if self.store is not None:
-            table = self.store.whitened(self.fallback_method, self.fallback_groups)
-            table = table[: self.num_items + 1].astype(self.dtype, copy=False)
+            table = self._fallback_table()
         for row, history in enumerate(histories):
             if table is not None and history:
                 profile = table[list(history)].mean(axis=0)
                 scores[row] = table @ profile
             elif self._popularity is not None:
-                scores[row] = self._popularity.astype(self.dtype)
+                if self._popularity_cast is None:
+                    self._popularity_cast = self._popularity.astype(self.dtype)
+                scores[row] = self._popularity_cast
         return scores
+
+    def _fallback_table(self) -> np.ndarray:
+        """The whitened fallback table in scoring precision (cast once, not
+        per cold request)."""
+        key = (str(self.fallback_method), str(self.fallback_groups),
+               np.dtype(self.dtype).name)
+        table = self._fallback_tables.get(key)
+        if table is None:
+            table = self.store.whitened(self.fallback_method, self.fallback_groups)
+            table = table[: self.num_items + 1].astype(self.dtype, copy=False)
+            self._fallback_tables[key] = table
+        return table
 
     # ------------------------------------------------------------------ #
     # Top-K fast path
@@ -354,6 +586,16 @@ class Recommender:
                 f"asks for {config.score_dtype}; build a sibling Recommender "
                 f"(e.g. repro.service.Deployment.recommender_for) instead"
             )
+        if config.session_cache != self.config.session_cache:
+            # The session cache lives inside the compiled engine, which is
+            # built once per recommender — like the scoring dtype it is
+            # structural, not per-call state.
+            raise ValueError(
+                f"per-call session_cache overrides are not supported: this "
+                f"recommender's engine was built with session_cache="
+                f"{self.config.session_cache}, the config asks for "
+                f"{config.session_cache}"
+            )
         if config.backend != "exact":
             return self._topk_with_index(sequences, config)
         return self._topk_exact(sequences, config)
@@ -361,14 +603,18 @@ class Recommender:
     def _topk_exact(self, sequences: Sequence[Sequence[int]],
                     config: ServingConfig) -> TopKResult:
         """Dense scan + argpartition extraction (the reference path)."""
-        scores, cold = self.score(sequences, exclude_seen=config.exclude_seen)
+        timing: Dict[str, float] = {"ms": 0.0}
+        scores, cold = self.score(sequences, exclude_seen=config.exclude_seen,
+                                  engine=config.engine, encode_timing=timing)
         k = min(config.k, self.num_items)
         candidates = np.argpartition(scores, -k, axis=1)[:, -k:]
         candidate_scores = np.take_along_axis(scores, candidates, axis=1)
         order = np.lexsort((candidates, -candidate_scores), axis=1)
         items = np.take_along_axis(candidates, order, axis=1)
         top_scores = np.take_along_axis(candidate_scores, order, axis=1)
-        return TopKResult(items=items, scores=top_scores, cold=cold)
+        return TopKResult(items=items, scores=top_scores, cold=cold,
+                          engine=self._engine_label(config.engine),
+                          encode_ms=round(timing["ms"], 3))
 
     def _topk_with_index(self, sequences: Sequence[Sequence[int]],
                          config: ServingConfig) -> TopKResult:
@@ -385,8 +631,11 @@ class Recommender:
         # any warm row whose filtered candidates come up short of k.
         exact_rows = set(int(row) for row in np.flatnonzero(cold))
         warm_rows = np.flatnonzero(~cold)
+        encode_timing: Dict[str, float] = {"ms": 0.0}
         if warm_rows.size:
-            users = self._encode_warm_rows(servable, warm_rows).astype(
+            encode, encode_timing = self._encoder(config.engine)
+            users = self._encode_warm_rows(servable, warm_rows,
+                                           encoder=encode).astype(
                 self.dtype, copy=False)
             index = self.item_index(config.backend)
             # Each row needs k candidates plus room for its own seen items
@@ -426,7 +675,10 @@ class Recommender:
             )
             items[rows] = fallback.items
             scores[rows] = fallback.scores
-        return TopKResult(items=items, scores=scores, cold=cold)
+            encode_timing["ms"] += fallback.encode_ms
+        return TopKResult(items=items, scores=scores, cold=cold,
+                          engine=self._engine_label(config.engine),
+                          encode_ms=round(encode_timing["ms"], 3))
 
     # ------------------------------------------------------------------ #
     # Construction helpers

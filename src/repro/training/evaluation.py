@@ -32,7 +32,8 @@ MIN_SCORING_ROWS = 4
 def inference_catalogue_scores(model, item_ids: np.ndarray, lengths: np.ndarray,
                                item_matrix: Optional[np.ndarray] = None,
                                scoring_matrix: Optional[np.ndarray] = None,
-                               score_dtype=np.float32) -> np.ndarray:
+                               score_dtype=np.float32,
+                               encoder=None) -> np.ndarray:
     """Shared inference scoring entry point (evaluation *and* serving).
 
     Encodes a left-padded history batch through the model's inference API and
@@ -47,13 +48,20 @@ def inference_catalogue_scores(model, item_ids: np.ndarray, lengths: np.ndarray,
     ``scoring_matrix`` (cast to ``score_dtype``, for the matmul) let callers
     with per-batch loops hoist the item-matrix computation and the cast out
     of the loop; both default to being derived on the fly.
+
+    ``encoder`` swaps the sequence encoder: any callable with the
+    ``model.encode_sequences(item_ids, lengths, item_matrix=...)`` contract,
+    e.g. the compiled graph-free engine
+    (:meth:`repro.infer.InferenceEngine.encode_sequences`, bit-identical to
+    the default graph path at equal dtype).
     """
     if item_matrix is None:
         item_matrix = model.inference_item_matrix()
     if scoring_matrix is None:
         scoring_matrix = (item_matrix if score_dtype is None
                           else item_matrix.astype(score_dtype, copy=False))
-    users = model.encode_sequences(item_ids, lengths, item_matrix=item_matrix)
+    encode = model.encode_sequences if encoder is None else encoder
+    users = encode(item_ids, lengths, item_matrix=item_matrix)
     padding = MIN_SCORING_ROWS - users.shape[0]
     if padding > 0:  # see MIN_SCORING_ROWS: keep tiny batches off GEMV kernels
         users = np.concatenate([users, np.repeat(users[-1:], padding, axis=0)])

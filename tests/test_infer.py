@@ -1,0 +1,640 @@
+"""Tests for the graph-free compiled inference engine (`repro.infer`).
+
+Covers: plan compilation + **bit-identity** against the ``nn.no_grad`` graph
+path for every registered model family at float32 and float64, buffer-arena
+reuse (zero growth across repeated calls), program LRU eviction, SessionCache
+hit / miss / eviction semantics, suffix-append parity vs full re-encode per
+incremental family, and the serving-layer integration (engine routing,
+per-response diagnostics, dtype-sibling cache sharing, CLI error paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cli import main as cli_main
+from repro.data.dataloader import SequenceBatch, pad_sequences
+from repro.infer import (
+    BufferArena,
+    InferenceEngine,
+    SessionCache,
+    SessionEntry,
+    UnsupportedModelError,
+    compile_plan,
+)
+from repro.models import ModelConfig, available_models, build_model, requires_text_features
+from repro.models.base import SequentialRecommender
+from repro.nn.functional import catalogue_scores
+from repro.serving import Recommender, ServingConfig
+from repro.serving.recommender import full_sort_topk
+
+NUM_ITEMS = 70
+MAX_SEQ = 10
+
+
+@pytest.fixture(scope="module")
+def infer_setup(rng):
+    features = rng.standard_normal((NUM_ITEMS + 1, 20))
+    features[0] = 0.0
+    train_sequences = {
+        user: [int(item) for item in rng.integers(1, NUM_ITEMS + 1, size=6)]
+        for user in range(15)
+    }
+    histories = [
+        [int(item) for item in rng.integers(1, NUM_ITEMS + 1,
+                                            size=int(rng.integers(2, MAX_SEQ)))]
+        for _ in range(7)
+    ]
+    return features, train_sequences, histories
+
+
+def _build(name, features, train_sequences, dtype="float64", seed=0):
+    config = ModelConfig(hidden_dim=16, num_layers=2, num_heads=2,
+                         dropout=0.2, max_seq_length=MAX_SEQ, seed=seed)
+    kwargs = {}
+    if requires_text_features(name):
+        kwargs["feature_table"] = features
+    if name == "grcn":
+        kwargs["train_sequences"] = train_sequences
+    with nn.autocast(dtype):
+        model = build_model(name, NUM_ITEMS, config=config, **kwargs)
+    model.eval()
+    return model
+
+
+def _padded(histories):
+    return pad_sequences([history[-MAX_SEQ:] for history in histories], MAX_SEQ)
+
+
+# --------------------------------------------------------------------- #
+# Plan compilation & bit-identity
+# --------------------------------------------------------------------- #
+class TestPlanBitIdentity:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("name", sorted(available_models()))
+    def test_every_family_bitwise_equal_to_graph(self, name, dtype, infer_setup):
+        """Acceptance criterion: the compiled engine is bit-identical (ids
+        AND scores) to the no_grad graph path per family, at both dtypes."""
+        features, train_sequences, histories = infer_setup
+        model = _build(name, features, train_sequences, dtype=dtype)
+        item_ids, lengths = _padded(histories)
+        matrix = model.inference_item_matrix()
+
+        plan = compile_plan(model)
+        reference = model.encode_sequences(item_ids, lengths, item_matrix=matrix)
+        compiled = plan.encode(item_ids, lengths, matrix)
+        assert compiled.dtype == reference.dtype
+        assert np.array_equal(reference, compiled)
+
+        # Scores and extracted ids are bitwise equal too (same users in,
+        # same scoring matmul).
+        scoring = matrix.astype(np.float32, copy=False)
+        ref_scores = catalogue_scores(reference, scoring)
+        got_scores = catalogue_scores(compiled, scoring)
+        assert np.array_equal(ref_scores, got_scores)
+        ref_ids, ref_top = full_sort_topk(ref_scores, k=10)
+        got_ids, got_top = full_sort_topk(got_scores, k=10)
+        assert np.array_equal(ref_ids, got_ids)
+        assert np.array_equal(ref_top, got_top)
+
+    def test_family_dispatch(self, infer_setup):
+        features, train_sequences, _ = infer_setup
+        expected = {
+            "sasrec_id": "transformer",
+            "whitenrec_plus": "transformer",
+            "vqrec": "transformer",
+            "fdsa": "fdsa",
+            "gru4rec": "gru",
+            "grcn": "meanpool",
+            "bm3": "meanpool",
+        }
+        for name, family in expected.items():
+            model = _build(name, features, train_sequences)
+            assert compile_plan(model).family == family
+
+    def test_unknown_encode_override_is_rejected(self, infer_setup):
+        features, train_sequences, _ = infer_setup
+
+        class Exotic(SequentialRecommender):
+            model_name = "exotic"
+
+            def __init__(self, num_items):
+                super().__init__(num_items, ModelConfig(
+                    hidden_dim=16, num_layers=1, num_heads=2,
+                    max_seq_length=MAX_SEQ, seed=0))
+                self.item_embedding = nn.Embedding(
+                    num_items + 1, self.hidden_dim, padding_idx=0, rng=self._rng)
+
+            def item_representations(self):
+                return self.item_embedding.all_embeddings()
+
+            def encode_sequence(self, batch, item_matrix=None):
+                return super().encode_sequence(batch, item_matrix) * 2.0
+
+        model = Exotic(NUM_ITEMS)
+        model.eval()
+        with pytest.raises(UnsupportedModelError):
+            compile_plan(model)
+        # The serving layer falls back to the graph path instead of failing.
+        recommender = Recommender(model)
+        assert recommender.engine() is None
+        assert recommender.engine_name == "graph"
+        result = recommender.topk([[1, 2, 3]], k=5)
+        assert result.engine == "graph"
+
+    def test_sequence_length_contract_matches_graph(self, infer_setup):
+        features, train_sequences, _ = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        plan = compile_plan(model)
+        too_long = np.ones((1, MAX_SEQ + 3), dtype=np.int64)
+        lengths = np.array([MAX_SEQ + 3])
+        with pytest.raises(ValueError, match="exceeds max_seq_length"):
+            plan.encode(too_long, lengths, model.inference_item_matrix())
+
+    def test_plan_is_immune_to_later_weight_mutation(self, infer_setup):
+        """Snapshots are copies: in-place weight updates do not leak in.
+
+        (The item matrix is the caller's responsibility — for ID models it
+        aliases the live embedding table — so the test pins a copy of it and
+        mutates every parameter.)
+        """
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        item_ids, lengths = _padded(histories)
+        matrix = model.inference_item_matrix().copy()
+        plan = compile_plan(model)
+        before = plan.encode(item_ids, lengths, matrix)
+        for parameter in model.parameters():
+            parameter.data += 0.25
+        after = plan.encode(item_ids, lengths, matrix)
+        assert np.array_equal(before, after)
+
+
+# --------------------------------------------------------------------- #
+# Arena reuse & program cache
+# --------------------------------------------------------------------- #
+class TestArena:
+    def test_get_reuses_and_counts(self):
+        arena = BufferArena()
+        first = arena.get("x", (3, 4), np.float64)
+        second = arena.get("x", (3, 4), np.float64)
+        assert first is second
+        assert arena.allocations == 1
+        third = arena.get("x", (5, 4), np.float64)
+        assert third is not first
+        assert arena.allocations == 2
+        assert arena.num_buffers == 2
+        assert arena.nbytes == first.nbytes + third.nbytes
+        assert arena.release_prefix("x") == 2
+        assert arena.num_buffers == 0
+
+    def test_no_growth_across_100_calls(self, infer_setup):
+        """Satellite criterion: steady-state encoding allocates nothing new —
+        the same buffer objects serve every call."""
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        item_ids, lengths = _padded(histories)
+        matrix = model.inference_item_matrix()
+        plan = compile_plan(model)
+        plan.encode(item_ids, lengths, matrix)  # warmup compiles the bucket
+
+        allocations = plan.arena.allocations
+        buffer_ids = sorted(id(buffer) for buffer in plan.arena.buffers())
+        for _ in range(100):
+            plan.encode(item_ids, lengths, matrix)
+        assert plan.arena.allocations == allocations
+        assert sorted(id(buffer) for buffer in plan.arena.buffers()) == buffer_ids
+
+    def test_eviction_does_not_release_prefix_colliding_bucket(self, infer_setup):
+        """Regression: evicting bucket (1, 2) must not unregister bucket
+        (1, 20)'s buffers — "b1s2" is a string prefix of "b1s20"."""
+        features, train_sequences, _ = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        matrix = model.inference_item_matrix()
+        plan = compile_plan(model, max_programs=2)
+        short = (np.array([[0, 3]], dtype=np.int64), np.array([2]))
+        long = (np.ones((1, MAX_SEQ), dtype=np.int64), np.array([MAX_SEQ]))
+        plan.encode(*short, item_matrix=matrix)       # bucket (1, 2)
+        plan.encode(*long, item_matrix=matrix)        # bucket (1, MAX_SEQ)
+        long_buffers = plan.arena.num_buffers // 2
+        reference = plan.encode(*long, item_matrix=matrix)
+        middle = (np.ones((2, 3), dtype=np.int64), np.array([3, 3]))
+        plan.encode(*middle, item_matrix=matrix)      # evicts bucket (1, 2)
+        # The long bucket's ledger entries must survive the eviction …
+        assert plan.arena.num_buffers >= long_buffers
+        allocations = plan.arena.allocations
+        # … and re-running it neither reallocates nor changes values.
+        assert np.array_equal(plan.encode(*long, item_matrix=matrix), reference)
+        assert plan.arena.allocations == allocations
+
+    def test_program_lru_eviction_releases_buffers(self, infer_setup):
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        matrix = model.inference_item_matrix()
+        plan = compile_plan(model, max_programs=2)
+        for batch in (1, 2, 3):
+            item_ids, lengths = _padded(histories[:batch])
+            plan.encode(item_ids, lengths, matrix)
+        assert plan.num_programs == 2
+        # The evicted (batch=1) bucket must have released its arena buffers:
+        # re-encoding batch=1 recompiles and re-allocates.
+        buffers_before = plan.arena.num_buffers
+        item_ids, lengths = _padded(histories[:1])
+        plan.encode(item_ids, lengths, matrix)
+        assert plan.num_programs == 2
+        assert plan.arena.num_buffers == buffers_before
+
+
+# --------------------------------------------------------------------- #
+# SessionCache semantics
+# --------------------------------------------------------------------- #
+class TestSessionCache:
+    def test_hit_miss_and_lru_eviction(self):
+        cache = SessionCache(max_entries=2)
+        assert cache.lookup((1, 2)) is None
+        cache.miss()
+        cache.store((1, 2), SessionEntry(user="a"))
+        cache.store((3, 4), SessionEntry(user="b"))
+        assert cache.lookup((1, 2)).user == "a"  # refreshes (1, 2)
+        cache.store((5, 6), SessionEntry(user="c"))  # evicts (3, 4)
+        assert (3, 4) not in cache
+        assert (1, 2) in cache and (5, 6) in cache
+        assert cache.evictions == 1
+        assert cache.hits == 1 and cache.misses == 1
+        stats = cache.stats()
+        assert stats["entries"] == 2 and stats["max_entries"] == 2
+
+    def test_prefix_lookup_requires_state(self):
+        cache = SessionCache(max_entries=4)
+        cache.store((1, 2), SessionEntry(user="u", state=None))
+        assert cache.lookup_prefix((1, 2, 3)) is None  # no incremental state
+        cache.store((1, 2), SessionEntry(user="u", state="s"))
+        entry = cache.lookup_prefix((1, 2, 3))
+        assert entry is not None and entry.state == "s"
+        assert cache.prefix_hits == 1
+        assert cache.lookup_prefix((9,)) is None  # too short
+
+    def test_hit_rate(self):
+        cache = SessionCache(max_entries=4)
+        assert cache.hit_rate == 0.0
+        cache.store((1,), SessionEntry(user="u"))
+        cache.lookup((1,))
+        cache.miss()
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            SessionCache(max_entries=0)
+
+
+# --------------------------------------------------------------------- #
+# Engine-level caching & incremental encoding
+# --------------------------------------------------------------------- #
+class TestEngineSessionCaching:
+    def test_exact_hit_is_bitwise_and_counts(self, infer_setup):
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        matrix = model.inference_item_matrix()
+        engine = InferenceEngine(model, session_cache_size=8)
+        item_ids, lengths = _padded(histories[:2])
+        first = engine.encode_sequences(item_ids, lengths, matrix)
+        second = engine.encode_sequences(item_ids, lengths, matrix)
+        assert np.array_equal(first, second)
+        stats = engine.stats()["session_cache"]
+        assert stats["hits"] == 2 and stats["misses"] == 2
+
+    @pytest.mark.parametrize("name", ["gru4rec", "grcn"])
+    def test_suffix_append_parity_vs_full_reencode(self, name, infer_setup):
+        """Prefix hits re-encode only the appended item; results must agree
+        with a full re-encode: identical top-k ids, scores to float
+        accumulation accuracy (bitwise for the GRU single-row case)."""
+        features, train_sequences, _ = infer_setup
+        model = _build(name, features, train_sequences)
+        matrix = model.inference_item_matrix()
+        engine = InferenceEngine(model, session_cache_size=16)
+
+        history = [3, 8, 1, 5]
+        item_ids, lengths = _padded([history])
+        engine.encode_sequences(item_ids, lengths, matrix)
+        extended_ids, extended_lengths = _padded([history + [9]])
+        incremental = engine.encode_sequences(extended_ids, extended_lengths, matrix)
+        assert engine.stats()["session_cache"]["prefix_hits"] == 1
+
+        full = compile_plan(model).encode(extended_ids, extended_lengths, matrix)
+        if name == "gru4rec":
+            # Single-row GRU appends replay the exact per-step operations of
+            # the full unroll at the same GEMM shape: bitwise equal.
+            assert np.array_equal(incremental, full)
+        else:
+            assert np.allclose(incremental, full, rtol=1e-12, atol=1e-12)
+        # Either way the served ranking cannot change.
+        scoring = matrix.astype(np.float32, copy=False)
+        ids_incremental, _ = full_sort_topk(catalogue_scores(incremental, scoring), 10)
+        ids_full, _ = full_sort_topk(catalogue_scores(full, scoring), 10)
+        assert np.array_equal(ids_incremental, ids_full)
+
+    def test_transformer_prefix_falls_back_to_full_reencode(self, infer_setup):
+        """Left-padded absolute positions shift on append, so transformer
+        plans never reuse per-layer state — the appended window is a fresh
+        full encode (still cached for next time)."""
+        features, train_sequences, _ = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        matrix = model.inference_item_matrix()
+        engine = InferenceEngine(model, session_cache_size=8)
+        history = [3, 8, 1]
+        engine.encode_sequences(*_padded([history]), item_matrix=matrix)
+        extended = engine.encode_sequences(*_padded([history + [9]]),
+                                           item_matrix=matrix)
+        stats = engine.stats()["session_cache"]
+        assert stats["prefix_hits"] == 0 and stats["misses"] == 2
+        reference = compile_plan(model).encode(*_padded([history + [9]]),
+                                               item_matrix=matrix)
+        assert np.array_equal(extended, reference)
+
+    def test_slid_window_uses_full_reencode(self, infer_setup):
+        """Once the window is full, an append drops the oldest item — the
+        prefix key no longer matches and the row re-encodes fully."""
+        features, train_sequences, _ = infer_setup
+        model = _build("gru4rec", features, train_sequences)
+        matrix = model.inference_item_matrix()
+        engine = InferenceEngine(model, session_cache_size=8)
+        history = [int(i % NUM_ITEMS) + 1 for i in range(MAX_SEQ)]  # full window
+        engine.encode_sequences(*_padded([history]), item_matrix=matrix)
+        extended = engine.encode_sequences(*_padded([history + [7]]),
+                                           item_matrix=matrix)
+        assert engine.stats()["session_cache"]["prefix_hits"] == 0
+        reference = compile_plan(model).encode(*_padded([history + [7]]),
+                                               item_matrix=matrix)
+        assert np.array_equal(extended, reference)
+
+
+# --------------------------------------------------------------------- #
+# Serving integration
+# --------------------------------------------------------------------- #
+class TestServingIntegration:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("name", ["whitenrec", "gru4rec", "fdsa", "bm3"])
+    def test_topk_compiled_vs_graph_bit_identity(self, name, dtype, infer_setup):
+        features, train_sequences, histories = infer_setup
+        model = _build(name, features, train_sequences, dtype=dtype)
+        recommender = Recommender(model, train_sequences=train_sequences)
+        compiled = recommender.topk(
+            histories, config=ServingConfig(k=10, engine="compiled"))
+        graph = recommender.topk(
+            histories, config=ServingConfig(k=10, engine="graph"))
+        assert compiled.engine == "compiled" and graph.engine == "graph"
+        assert np.array_equal(compiled.items, graph.items)
+        assert np.array_equal(compiled.scores, graph.scores)
+
+    def test_topk_reports_engine_and_encode_ms(self, infer_setup):
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        recommender = Recommender(model)
+        result = recommender.topk(histories[:2], k=5)
+        assert result.engine == "compiled"
+        assert result.encode_ms > 0.0
+        # A fully cold batch does no sequence encoding.
+        cold = recommender.topk([[NUM_ITEMS + 50]], k=5)
+        assert cold.encode_ms == 0.0
+
+    def test_default_config_uses_compiled_engine(self, infer_setup):
+        features, train_sequences, _ = infer_setup
+        model = _build("whitenrec", features, train_sequences)
+        recommender = Recommender(model)
+        assert recommender.config.engine == "compiled"
+        recommender.topk([[1, 2, 3]], k=5)
+        assert recommender.engine_stats()["compiled"] is True
+
+    def test_per_call_compiled_override_on_graph_config(self, infer_setup):
+        """A graph-configured recommender honours a per-call
+        engine="compiled" override (building the plan lazily) instead of
+        silently serving the graph path."""
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        recommender = Recommender(model, config=ServingConfig(engine="graph"))
+        default = recommender.topk(histories[:2], k=5)
+        assert default.engine == "graph"
+        compiled = recommender.topk(
+            histories[:2], config=ServingConfig(k=5, engine="compiled"))
+        assert compiled.engine == "compiled"
+        assert np.array_equal(default.items, compiled.items)
+        assert np.array_equal(default.scores, compiled.scores)
+
+    def test_sibling_ann_index_invalidated_by_shared_refresh(self, infer_setup):
+        """Regression: a dtype sibling's ANN index must not outlive a
+        refresh performed on the base recommender (shared generation)."""
+        from repro.service import Deployment
+
+        features, train_sequences, histories = infer_setup
+        model = _build("whitenrec", features, train_sequences)
+        deployment = Deployment(name="main", recommender=Recommender(
+            model, index_params={"n_lists": 4, "nprobe": 4, "seed": 0}))
+        base = deployment.recommender_for()
+        sibling = deployment.recommender_for("float64")
+        sibling.item_index("ivf")
+        stale = sibling._indexes["ivf"]
+        model.projection.net.layers[0].weight.data += 0.1  # fine-tune
+        base.refresh_item_matrix()
+        ann = sibling.topk(histories, config=ServingConfig(
+            k=5, backend="ivf", overfetch_margin=16, score_dtype="float64"))
+        assert sibling._indexes["ivf"] is not stale
+        exact = sibling.topk(histories, config=ServingConfig(
+            k=5, backend="exact", score_dtype="float64"))
+        assert np.array_equal(ann.items, exact.items)
+
+    def test_session_cache_override_is_structural(self, infer_setup):
+        features, train_sequences, _ = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        recommender = Recommender(model)
+        with pytest.raises(ValueError, match="session_cache"):
+            recommender.topk([[1, 2]], config=ServingConfig(session_cache=4))
+
+    def test_refresh_item_matrix_recompiles_engine(self, infer_setup):
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        recommender = Recommender(model)
+        recommender.topk(histories[:2], k=5)
+        stale_engine = recommender.engine()
+        # Fine-tune in place, then refresh: the engine must be rebuilt and
+        # agree with the graph path on the new weights.
+        model.item_embedding.weight.data += 0.05
+        recommender.refresh_item_matrix()
+        fresh_engine = recommender.engine()
+        assert fresh_engine is not stale_engine
+        compiled = recommender.topk(
+            histories, config=ServingConfig(k=10, engine="compiled"))
+        graph = recommender.topk(
+            histories, config=ServingConfig(k=10, engine="graph"))
+        assert np.array_equal(compiled.items, graph.items)
+        assert np.array_equal(compiled.scores, graph.scores)
+
+    def test_ann_backend_uses_compiled_encoder(self, infer_setup):
+        features, train_sequences, histories = infer_setup
+        model = _build("whitenrec", features, train_sequences)
+        recommender = Recommender(
+            model, train_sequences=train_sequences,
+            index_params={"n_lists": 4, "nprobe": 4, "seed": 0})
+        exact = recommender.topk(histories, config=ServingConfig(
+            k=5, backend="exact", engine="compiled"))
+        ann = recommender.topk(histories, config=ServingConfig(
+            k=5, backend="ivf", engine="compiled", overfetch_margin=16))
+        assert ann.engine == "compiled"
+        assert np.array_equal(exact.items, ann.items)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="engine"):
+            ServingConfig(engine="warp")
+        with pytest.raises(ValueError, match="session_cache"):
+            ServingConfig(session_cache=-1)
+        payload = ServingConfig(engine="graph", session_cache=8).to_dict()
+        assert payload["engine"] == "graph"
+        assert payload["session_cache"] == 8
+        round_trip = ServingConfig.from_dict(payload)
+        assert round_trip.engine == "graph"
+        assert round_trip.session_cache == 8
+
+
+# --------------------------------------------------------------------- #
+# Service layer & CLI plumbing
+# --------------------------------------------------------------------- #
+class TestServiceAndCli:
+    def test_response_reports_engine_and_encode_ms(self, infer_setup):
+        from repro.service import Deployment, ModelRegistry, RecommenderService
+
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        registry = ModelRegistry()
+        registry.register(Deployment(
+            name="main", recommender=Recommender(model),
+            config=ServingConfig(k=5)))
+        with RecommenderService(registry, batching=False) as service:
+            response = service.recommend({"history": histories[0]})
+            payload = response.to_dict()
+            assert payload["engine"] == "compiled"
+            assert payload["encode_ms"] >= 0.0
+
+    def test_deployment_describe_includes_engine_stats(self, infer_setup):
+        from repro.service import Deployment
+
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        deployment = Deployment(name="main", recommender=Recommender(
+            model, config=ServingConfig(session_cache=8)),
+            config=ServingConfig(session_cache=8))
+        assert deployment.describe()["engine"]["compiled"] is False  # lazy
+        deployment.recommender.topk([histories[0]], k=5)
+        described = deployment.describe()["engine"]
+        assert described["compiled"] is True
+        assert described["session_cache"]["enabled"] is True
+        assert "hit_rate" in described["session_cache"]
+        import json
+        json.dumps(deployment.describe())  # stats endpoint serialisability
+
+    def test_dtype_siblings_share_engine_and_matrix_cache(self, infer_setup):
+        from repro.service import Deployment
+
+        features, train_sequences, histories = infer_setup
+        model = _build("sasrec_id", features, train_sequences)
+        deployment = Deployment(name="main", recommender=Recommender(model))
+        base = deployment.recommender_for()
+        sibling = deployment.recommender_for("float64")
+        assert sibling is not base
+        assert sibling._matrix_cache is base._matrix_cache
+        base.topk([histories[0]], k=5)
+        assert sibling.engine() is base.engine()
+
+    def test_cli_rejects_unknown_engine(self, capsys):
+        exit_code = cli_main(["serve", "--engine", "warp"])
+        assert exit_code == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_cli_rejects_negative_session_cache(self, capsys):
+        exit_code = cli_main(["serve", "--session-cache", "-3"])
+        assert exit_code == 2
+        assert "session-cache" in capsys.readouterr().err
+
+    def test_cli_help_documents_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--engine" in help_text
+        assert "--session-cache" in help_text
+
+
+# --------------------------------------------------------------------- #
+# Bench regression gate (benchmarks/check_regression.py)
+# --------------------------------------------------------------------- #
+class TestBenchRegressionGate:
+    @pytest.fixture()
+    def gate(self):
+        import importlib.util
+        import pathlib
+
+        path = (pathlib.Path(__file__).resolve().parents[1]
+                / "benchmarks" / "check_regression.py")
+        spec = importlib.util.spec_from_file_location("check_regression", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _run(self, gate, tmp_path, baseline, fresh, **kwargs):
+        import json
+
+        (tmp_path / "baseline").mkdir(exist_ok=True)
+        (tmp_path / "baseline" / "BENCH_x.json").write_text(json.dumps(baseline))
+        fresh_path = gate.REPO_ROOT / "BENCH_x.json"
+        fresh_path.write_text(json.dumps(fresh))
+        try:
+            argv = ["--baseline-dir", str(tmp_path / "baseline"),
+                    "--files", "BENCH_x.json"]
+            for key, value in kwargs.items():
+                argv += [f"--{key}", str(value)]
+            return gate.main(argv)
+        finally:
+            fresh_path.unlink()
+
+    def test_passes_within_tolerance(self, gate, tmp_path):
+        baseline = {"speedup": 2.5, "identical_topk": True, "encode_rps": 100.0}
+        fresh = {"speedup": 2.1, "identical_topk": True, "encode_rps": 90.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
+    def test_fails_on_throughput_regression(self, gate, tmp_path):
+        baseline = {"families": {"a": {"compiled_seq_per_s": 1000.0}}}
+        fresh = {"families": {"a": {"compiled_seq_per_s": 600.0}}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_absolute_metrics_get_the_wider_tolerance(self, gate, tmp_path):
+        """A 30% absolute-throughput drop passes (hardware variance band)
+        while the same drop on a relative speedup metric fails."""
+        baseline = {"rate_rps": 1000.0}
+        fresh = {"rate_rps": 700.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+        baseline = {"speedup": 3.0}
+        fresh = {"speedup": 2.1}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_fails_on_parity_flip(self, gate, tmp_path):
+        baseline = {"identical_results": True, "rps": 10.0}
+        fresh = {"identical_results": False, "rps": 10.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_fails_on_missing_tracked_metric(self, gate, tmp_path):
+        baseline = {"speedup": 2.0}
+        fresh = {"other": 1.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_missing_fresh_file_fails(self, gate, tmp_path):
+        import json
+
+        (tmp_path / "baseline").mkdir()
+        (tmp_path / "baseline" / "BENCH_missing.json").write_text(
+            json.dumps({"speedup": 1.0}))
+        assert gate.main(["--baseline-dir", str(tmp_path / "baseline"),
+                          "--files", "BENCH_missing.json"]) == 1
+
+    def test_new_benchmark_without_baseline_is_skipped(self, gate, tmp_path):
+        (tmp_path / "baseline").mkdir()
+        assert gate.main(["--baseline-dir", str(tmp_path / "baseline"),
+                          "--files", "BENCH_not_committed_yet.json"]) == 0

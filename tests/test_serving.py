@@ -361,6 +361,49 @@ class TestCacheReuse:
             Recommender(model, store=store).topk([[]], k=2)
         assert store.num_fits == 1
 
+    def test_alternating_dtype_traffic_casts_catalogue_once(self, serving_setup):
+        """Regression: mixed score_dtype siblings share one generation-
+        stamped matrix cache — alternating float32 / float64 requests must
+        not re-cast (or re-derive) the catalogue on every switch."""
+        _, split, features, model = serving_setup
+        base = Recommender(model, store=EmbeddingStore(features),
+                           config=ServingConfig(score_dtype="float32"))
+        sibling = Recommender(model, store=EmbeddingStore(features),
+                              config=ServingConfig(score_dtype="float64"))
+        sibling.share_serving_caches(base)
+        cache = base._matrix_cache
+
+        histories = [case.history for case in split.test[:3]]
+        for _ in range(4):  # alternate dtypes repeatedly
+            base.topk(histories, k=3)
+            sibling.topk(histories, k=3)
+        # One derivation; one real cast (float32 — the float64 request reuses
+        # the model-precision matrix without casting).
+        assert cache.derive_count == 1
+        assert cache.cast_count == 1
+
+    def test_cast_cache_invalidated_per_generation(self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        histories = [case.history for case in split.test[:2]]
+        recommender.topk(histories, k=3)
+        assert recommender._matrix_cache.cast_count == 1
+        recommender.refresh_item_matrix()
+        recommender.topk(histories, k=3)
+        assert recommender._matrix_cache.cast_count == 2
+        assert recommender._matrix_cache.generation == 1
+
+    def test_cold_fallback_table_cast_memoised(self, serving_setup):
+        """The whitened fallback table is cast to scoring precision once,
+        not per cold request."""
+        _, _, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features))
+        cold_history = [[model.num_items + 40]]
+        recommender.topk(cold_history, k=3)
+        table_first = recommender._fallback_table()
+        recommender.topk(cold_history, k=3)
+        assert recommender._fallback_table() is table_first
+
 
 class TestInferenceMode:
     def test_no_grad_disables_graph_recording(self):

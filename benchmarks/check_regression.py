@@ -46,6 +46,7 @@ TRACKED_FILES = (
     "BENCH_train.json",
     "BENCH_serve_latency.json",
     "BENCH_encode.json",
+    "BENCH_shard.json",
 )
 
 #: key-name suffixes of *absolute* throughput metrics (hardware-dependent)
@@ -129,15 +130,29 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
             continue
         new_value = fresh_flat[key]
         if _is_parity_key(key) and isinstance(old_value, bool):
-            if old_value and not new_value:
+            if not isinstance(new_value, bool):
+                # A parity flag degrading to null/number is the benchmark
+                # failing to compute it — as bad as a flip, never a pass.
+                failures.append(
+                    f"parity flag {key!r} is no longer a boolean "
+                    f"(got {new_value!r})")
+            elif old_value and not new_value:
                 failures.append(
                     f"parity flag {key!r} flipped true -> false")
             elif not old_value and new_value:
                 notes.append(f"parity flag {key!r} now true (improvement)")
         elif (_is_throughput_key(key)
               and isinstance(old_value, (int, float))
-              and isinstance(new_value, (int, float))
               and not isinstance(old_value, bool)):
+            if (not isinstance(new_value, (int, float))
+                    or isinstance(new_value, bool)):
+                # NaN/inf measurements serialise to JSON null; a tracked
+                # metric that silently stopped being a number must fail
+                # loudly, not fall through the type guards.
+                failures.append(
+                    f"tracked metric {key!r} is no longer numeric "
+                    f"(got {new_value!r})")
+                continue
             allowed = (absolute_tolerance if _is_absolute_key(key)
                        else tolerance)
             floor = old_value * (1.0 - allowed)

@@ -1,0 +1,169 @@
+"""Benchmark: sharded scatter-gather retrieval over a worker pool.
+
+Two halves, one JSON:
+
+* **Exact-parity gate (small scale)** — the sharded exact path must be
+  bit-identical (ids *and* scores) to the single-process scorer for every
+  shard count and both execution backends.  The aligned block grid of
+  :mod:`repro.shard` makes this hold by construction; this gate is where a
+  violation would surface as a hard CI failure (``identical_*`` flags are
+  must-not-flip keys in ``benchmarks/check_regression.py``).
+
+* **Million-item scan throughput** — a 1M x 32 catalogue is generated
+  out-of-core (:func:`repro.data.synthetic.synthetic_item_matrix_layout`,
+  never materialised in this process), served by :class:`ShardPool`
+  with 1 and 4 workers attached via zero-copy memmap, and scanned by a
+  stream of batched exact searches.  Reported: items-scanned/s, per-request
+  p50/p95 latency, and the 4-vs-1 worker speedup — written to
+  ``BENCH_shard.json`` at the repository root (uploaded as a CI artifact;
+  gated by ``check_regression.py``).
+
+The 4-worker-beats-1 assertion only runs on multi-core machines: on a
+single core, four compute-bound workers time-slice one ALU and honestly
+cannot win.  ``cpu_count`` is recorded alongside the numbers so a
+baseline's provenance is visible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import run_once
+
+from repro.data.synthetic import synthetic_item_matrix_layout
+from repro.shard import LocalShardClient, ShardPool
+
+K = 10
+MILLION = 1_000_000
+DIM = 32
+BATCH = 8
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_shard.json"
+POOL_TIMEOUT = 300.0
+WORKER_COUNTS = (1, 4)
+
+
+def _percentile(samples, q):
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def _parity_gate() -> dict:
+    """Small-scale bit-identity: every shard count == the 1-shard scorer."""
+    rng = np.random.default_rng(42)
+    matrix = rng.standard_normal((3000, 24)).astype(np.float32)
+    queries = rng.standard_normal((6, 24)).astype(np.float32)
+    exclude = [[0, 7, 2999], [0], [0, 1024, 1025], [0, 512], [0], [0, 1, 2]]
+
+    reference = LocalShardClient(matrix, 1)
+    ref_ids, ref_scores = reference.search(queries, K, exclude=exclude)
+
+    local_ok = True
+    for num_shards in (2, 3, 4, 7):
+        ids, scores = LocalShardClient(matrix, num_shards).search(
+            queries, K, exclude=exclude)
+        local_ok = (local_ok and np.array_equal(ref_ids, ids)
+                    and np.array_equal(ref_scores, scores))
+
+    with ShardPool.from_matrix(matrix, 4, transport="memmap",
+                               timeout=POOL_TIMEOUT) as pool:
+        pool_ids, pool_scores = pool.search(queries, K, exclude=exclude)
+    process_ok = (np.array_equal(ref_ids, pool_ids)
+                  and np.array_equal(ref_scores, pool_scores))
+
+    return {
+        "num_items": matrix.shape[0],
+        "shard_counts": [1, 2, 3, 4, 7],
+        "identical_topk_local": bool(local_ok),
+        "identical_topk_process": bool(process_ok),
+    }
+
+
+def _scan_stream(pool, queries, num_requests):
+    """Run the request stream; per-request latencies (ms) + total seconds."""
+    latencies_ms = np.zeros(num_requests)
+    started = time.perf_counter()
+    for position in range(num_requests):
+        request_started = time.perf_counter()
+        pool.search(queries, K)
+        latencies_ms[position] = (time.perf_counter() - request_started) * 1000.0
+    return latencies_ms, time.perf_counter() - started
+
+
+def _bench_workers(layout, num_workers, num_requests) -> dict:
+    rng = np.random.default_rng(num_workers)
+    queries = rng.standard_normal((BATCH, layout.dim)).astype(np.float32)
+    with ShardPool.from_layout(layout, num_workers,
+                               timeout=POOL_TIMEOUT) as pool:
+        _scan_stream(pool, queries, 2)  # warm-up: page in the memmaps
+        latencies, seconds = _scan_stream(pool, queries, num_requests)
+    items_scanned = layout.num_rows * BATCH * num_requests
+    return {
+        "workers": num_workers,
+        "num_requests": num_requests,
+        "batch": BATCH,
+        "items_scanned_per_s": items_scanned / seconds,
+        "scan_p50_ms": _percentile(latencies, 50),
+        "scan_p95_ms": _percentile(latencies, 95),
+    }
+
+
+def run_shard_bench(scale: str = "bench") -> dict:
+    num_requests = 24 if scale == "full" else 10
+    parity = _parity_gate()
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-shard-")
+    try:
+        layout = synthetic_item_matrix_layout(directory, MILLION, DIM, seed=0)
+        scans = {f"workers_{count}": _bench_workers(layout, count, num_requests)
+                 for count in WORKER_COUNTS}
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    single = scans["workers_1"]["items_scanned_per_s"]
+    fanned = scans[f"workers_{WORKER_COUNTS[-1]}"]["items_scanned_per_s"]
+    return {
+        "k": K,
+        "num_items": MILLION,
+        "dim": DIM,
+        "cpu_count": os.cpu_count(),
+        "parity": parity,
+        "scans": scans,
+        "scan_speedup": fanned / single,
+    }
+
+
+def test_shard_scatter_gather(benchmark, scale):
+    result = run_once(benchmark, run_shard_bench, scale=scale)
+    for name, entry in result["scans"].items():
+        print(
+            f"\n{name}: {entry['items_scanned_per_s']:,.0f} items/s "
+            f"({entry['num_requests']} requests x batch {entry['batch']} "
+            f"over {result['num_items']:,} items, "
+            f"p50 {entry['scan_p50_ms']:.1f}ms / "
+            f"p95 {entry['scan_p95_ms']:.1f}ms)"
+        )
+    print(f"{WORKER_COUNTS[-1]}-worker speedup: "
+          f"{result['scan_speedup']:.2f}x on {result['cpu_count']} core(s)")
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {RESULT_PATH}")
+
+    assert result["parity"]["identical_topk_local"], (
+        "sharded exact path diverged from the single-process scorer "
+        "(local backend)"
+    )
+    assert result["parity"]["identical_topk_process"], (
+        "sharded exact path diverged from the single-process scorer "
+        "(process pool)"
+    )
+    if (result["cpu_count"] or 1) >= 2:
+        assert result["scan_speedup"] > 1.0, (
+            f"{WORKER_COUNTS[-1]} workers scanned no faster than one "
+            f"({result['scan_speedup']:.2f}x) on a "
+            f"{result['cpu_count']}-core machine"
+        )

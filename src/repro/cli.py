@@ -112,6 +112,16 @@ def _build_parser() -> argparse.ArgumentParser:
                               metavar="{exact,ivf,ivfpq}",
                               help="retrieval backend: exact dense scan or an "
                                    "ANN index (default: exact)")
+    serve_parser.add_argument("--shards", type=int, default=1, metavar="N",
+                              help="partition the item matrix over N shards "
+                                   "(1 keeps the single-scorer paths; results "
+                                   "are bit-identical for every N)")
+    serve_parser.add_argument("--shard-backend", default="process",
+                              metavar="{process,local}",
+                              help="where shard searches run when --shards > "
+                                   "1: a spawned worker pool (process, "
+                                   "default) or sequentially in-process "
+                                   "(local)")
     serve_parser.add_argument("--requests", type=int, default=8,
                               help="number of test histories to serve "
                                    "(one-shot demo)")
@@ -238,8 +248,9 @@ def _command_serve(args) -> int:
     from .data.splits import leave_one_out_split
     from .experiments.persistence import load_checkpoint, load_model, save_checkpoint
     from .models import ModelConfig, build_model, display_label
-    from .serving import (SERVING_BACKENDS, SERVING_ENGINES, EmbeddingStore,
-                          Recommender, ServingConfig, measure_throughput)
+    from .serving import (SERVING_BACKENDS, SERVING_ENGINES, SHARD_BACKENDS,
+                          EmbeddingStore, Recommender, ServingConfig,
+                          measure_throughput)
     from .service import Deployment, ModelRegistry, RecommenderService, serve_http, serve_jsonl
     from .training import quick_train
 
@@ -254,10 +265,17 @@ def _command_serve(args) -> int:
                      f"(expected one of {', '.join(SERVING_ENGINES)})")
     if args.session_cache < 0:
         return _fail(f"--session-cache must be >= 0, got {args.session_cache}")
+    if args.shards < 1:
+        return _fail(f"--shards must be >= 1, got {args.shards}")
+    if args.shard_backend not in SHARD_BACKENDS:
+        return _fail(f"unknown shard backend {args.shard_backend!r} "
+                     f"(expected one of {', '.join(SHARD_BACKENDS)})")
     try:
         serving_config = ServingConfig(k=args.k, backend=args.backend,
                                        engine=args.engine,
-                                       session_cache=args.session_cache)
+                                       session_cache=args.session_cache,
+                                       shards=args.shards,
+                                       shard_backend=args.shard_backend)
     except ValueError as error:
         return _fail(str(error))
 
@@ -343,11 +361,16 @@ def _command_serve(args) -> int:
                                  max_batch_size=args.max_batch_size,
                                  max_wait_ms=args.max_wait_ms)
 
-    # Persistent front-ends.
+    # Persistent front-ends.  Whatever way they exit (EOF, shutdown command,
+    # Ctrl-C, a fatal error), the shard worker pools must come down with the
+    # process — close_all() is idempotent and a no-op for --shards 1.
     if args.loop:
         print("serving JSONL on stdin/stdout "
               "(send {\"cmd\": \"shutdown\"} or EOF to stop)", file=sys.stderr)
-        return serve_jsonl(service)
+        try:
+            return serve_jsonl(service)
+        finally:
+            registry.close_all()
     if args.http is not None:
         print(f"serving HTTP on port {args.http} "
               f"(POST /recommend, GET /stats, GET /deployments)")
@@ -355,6 +378,8 @@ def _command_serve(args) -> int:
             return serve_http(service, args.http)
         except OSError as error:
             return _fail(f"cannot serve HTTP on port {args.http}: {error}")
+        finally:
+            registry.close_all()
 
     # One-shot demo (the original `repro serve` behaviour), routed through
     # the typed service API.
@@ -362,6 +387,15 @@ def _command_serve(args) -> int:
         return _fail("the one-shot demo needs a dataset argument; use --loop "
                      "or --http to run the persistent server from "
                      "--deployment checkpoints alone")
+    try:
+        return _serve_demo(args, registry, service, split)
+    finally:
+        registry.close_all()
+
+
+def _serve_demo(args, registry, service, split) -> int:
+    from .serving import measure_throughput
+
     with service:
         cases = split.test[: max(1, args.requests)]
         requests = [{"history": list(case.history), "deployment": args.dataset}

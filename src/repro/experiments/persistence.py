@@ -155,6 +155,27 @@ def _model_build_kwargs(model) -> Dict[str, Any]:
     return kwargs
 
 
+def _checkpoint_metadata(model, build_kwargs: Optional[Dict[str, Any]],
+                         extra: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The JSON metadata blob shared by both checkpoint layouts."""
+    build = _model_build_kwargs(model)
+    if build_kwargs:
+        build.update(build_kwargs)
+    metadata: Dict[str, Any] = {
+        "model_name": model.model_name,
+        "num_items": int(model.num_items),
+        "config": _sanitize(dataclasses.asdict(model.config)),
+        "build_kwargs": _sanitize(build),
+        # Substrate dtype the model was built with, so load_model rebuilds
+        # under the same precision (a float32-trained model round-trips as
+        # float32 even when the loader runs under the float64 default).
+        "dtype": str(model.dtype),
+    }
+    if extra:
+        metadata["extra"] = _sanitize(extra)
+    return metadata
+
+
 def save_checkpoint(model, path: PathLike,
                     feature_table: Optional[np.ndarray] = None,
                     build_kwargs: Optional[Dict[str, Any]] = None,
@@ -171,27 +192,16 @@ def save_checkpoint(model, path: PathLike,
     Constructor kwargs (e.g. WhitenRec's ``num_groups`` or
     ``whitening_method``) are introspected from the model automatically;
     ``build_kwargs`` entries override the introspected values.
+
+    For matrices too large to deserialise into every process, see the
+    memmap-friendly directory variant :func:`save_checkpoint_tree`.
     """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
 
-    build = _model_build_kwargs(model)
-    if build_kwargs:
-        build.update(build_kwargs)
-    metadata: Dict[str, Any] = {
-        "model_name": model.model_name,
-        "num_items": int(model.num_items),
-        "config": _sanitize(dataclasses.asdict(model.config)),
-        "build_kwargs": _sanitize(build),
-        # Substrate dtype the model was built with, so load_model rebuilds
-        # under the same precision (a float32-trained model round-trips as
-        # float32 even when the loader runs under the float64 default).
-        "dtype": str(model.dtype),
-    }
-    if extra:
-        metadata["extra"] = _sanitize(extra)
+    metadata = _checkpoint_metadata(model, build_kwargs, extra)
 
     arrays: Dict[str, np.ndarray] = {
         _STATE_PREFIX + name: values for name, values in model.state_dict().items()
@@ -207,9 +217,90 @@ def save_checkpoint(model, path: PathLike,
     return path
 
 
-def load_checkpoint(path: PathLike) -> Checkpoint:
-    """Load a checkpoint written by :func:`save_checkpoint`."""
+# Directory ("tree") checkpoint layout: memmap-friendly variant of the .npz.
+_TREE_METADATA_FILE = "metadata.json"
+_TREE_PARAM_DIR = "param"
+_TREE_FEATURES_FILE = "feature_table.npy"
+_TREE_FORMAT = "repro-checkpoint-tree-v1"
+
+
+def _atomic_save_array(array: np.ndarray, path: Path) -> None:
+    temporary = path.with_suffix(path.suffix + ".tmp")
+    with open(temporary, "wb") as handle:
+        np.save(handle, np.ascontiguousarray(array))
+    temporary.replace(path)
+
+
+def save_checkpoint_tree(model, directory: PathLike,
+                         feature_table: Optional[np.ndarray] = None,
+                         build_kwargs: Optional[Dict[str, Any]] = None,
+                         extra: Optional[Dict[str, Any]] = None) -> Path:
+    """Memmap-friendly checkpoint: same contents as :func:`save_checkpoint`,
+    laid out as a directory instead of a compressed archive.
+
+    ``directory/param/<name>.npy`` holds each parameter as a raw ``.npy``
+    (so ``load_checkpoint(..., mmap=True)`` maps it zero-copy — N serving
+    processes share one set of physical pages through the OS cache instead
+    of each decompressing a private copy), plus ``metadata.json`` and an
+    optional ``feature_table.npy``.  Arrays are written through temporary
+    files; the metadata file is written last, so a directory with
+    ``metadata.json`` present is complete.
+    """
+    directory = Path(directory)
+    (directory / _TREE_PARAM_DIR).mkdir(parents=True, exist_ok=True)
+
+    metadata = _checkpoint_metadata(model, build_kwargs, extra)
+    names = []
+    for name, values in model.state_dict().items():
+        safe = name.replace("/", "__")
+        names.append([name, safe + ".npy"])
+        _atomic_save_array(values, directory / _TREE_PARAM_DIR / (safe + ".npy"))
+    if feature_table is not None:
+        _atomic_save_array(np.asarray(feature_table, dtype=np.float64),
+                           directory / _TREE_FEATURES_FILE)
+    metadata["format"] = _TREE_FORMAT
+    metadata["parameters"] = names
+    metadata["has_feature_table"] = feature_table is not None
+    temporary = directory / (_TREE_METADATA_FILE + ".tmp")
+    temporary.write_text(json.dumps(metadata, indent=2, sort_keys=True),
+                         encoding="utf-8")
+    temporary.replace(directory / _TREE_METADATA_FILE)
+    return directory
+
+
+def _load_checkpoint_tree(directory: Path, mmap: bool) -> Checkpoint:
+    meta_path = directory / _TREE_METADATA_FILE
+    if not meta_path.exists():
+        raise ValueError(f"{directory!s} is not a repro checkpoint tree "
+                         f"(no {_TREE_METADATA_FILE})")
+    metadata = json.loads(meta_path.read_text(encoding="utf-8"))
+    if metadata.get("format") != _TREE_FORMAT:
+        raise ValueError(f"{meta_path!s} has unknown checkpoint format "
+                         f"{metadata.get('format')!r}")
+    mmap_mode = "r" if mmap else None
+    state = {
+        name: np.load(directory / _TREE_PARAM_DIR / filename,
+                      mmap_mode=mmap_mode, allow_pickle=False)
+        for name, filename in metadata.get("parameters", [])
+    }
+    feature_table = None
+    if metadata.get("has_feature_table"):
+        feature_table = np.load(directory / _TREE_FEATURES_FILE,
+                                mmap_mode=mmap_mode, allow_pickle=False)
+    return Checkpoint(state=state, metadata=metadata, feature_table=feature_table)
+
+
+def load_checkpoint(path: PathLike, mmap: bool = False) -> Checkpoint:
+    """Load a checkpoint written by :func:`save_checkpoint` (a ``.npz`` file)
+    or :func:`save_checkpoint_tree` (a directory).
+
+    ``mmap=True`` maps tree-checkpoint arrays read-only instead of copying
+    them into RAM; it is ignored for ``.npz`` checkpoints, whose compressed
+    members cannot be mapped.
+    """
     path = Path(path)
+    if path.is_dir():
+        return _load_checkpoint_tree(path, mmap=mmap)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
     with np.load(path, allow_pickle=False) as data:

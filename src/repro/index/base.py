@@ -62,10 +62,31 @@ def topk_best_first(ids: np.ndarray, scores: np.ndarray, k: int):
     towards the smaller item id — the same convention as
     :func:`repro.serving.full_sort_topk`.  Rows with fewer than ``k`` real
     candidates keep their ``-1`` / ``-inf`` padding in the trailing slots.
+
+    The ``(-score, id)`` order is honoured as a *total* order, including at
+    the selection boundary: when several candidates tie at the k-th best
+    score, the ones with the smallest ids are kept.  ``argpartition`` alone
+    breaks such ties arbitrarily (by memory layout), which would make the
+    result depend on how the candidate row was assembled — per-shard top-K
+    blocks merged by :mod:`repro.shard` could then legitimately disagree
+    with single-process scoring.  The repair below costs one extra
+    comparison pass, and per-row work only on rows whose boundary score is
+    actually duplicated outside the kept set.
     """
     k = min(int(k), scores.shape[1])
     if k < scores.shape[1]:
         keep = np.argpartition(scores, -k, axis=1)[:, -k:]
+        kept_scores = np.take_along_axis(scores, keep, axis=1)
+        boundary = kept_scores.min(axis=1, keepdims=True)
+        tied_kept = (kept_scores == boundary).sum(axis=1)
+        tied_all = (scores == boundary).sum(axis=1)
+        for row in np.nonzero(tied_all > tied_kept)[0]:
+            definite = keep[row][kept_scores[row] > boundary[row, 0]]
+            tied = np.nonzero(scores[row] == boundary[row, 0])[0]
+            slots = k - definite.size
+            best_tied = tied[np.argsort(ids[row, tied],
+                                        kind="stable")[:slots]]
+            keep[row] = np.concatenate([definite, best_tied])
     else:
         keep = np.broadcast_to(np.arange(scores.shape[1]), scores.shape)
     kept_ids = np.take_along_axis(ids, keep, axis=1)

@@ -88,6 +88,19 @@ class Deployment:
                 self._dtype_variants[canonical] = variant
             return self._dtype_variants[canonical]
 
+    def close(self) -> None:
+        """Release worker pools held by this deployment's recommenders.
+
+        Covers the primary recommender and every lazily built dtype sibling;
+        idempotent, and the deployment stays servable (a later sharded
+        request rebuilds its pool).  Called by
+        :meth:`ModelRegistry.close_all` and the CLI's graceful shutdown.
+        """
+        with self._variant_lock:
+            variants = list(self._dtype_variants.values())
+        for recommender in [self.recommender, *variants]:
+            recommender.close()
+
     def describe(self) -> Dict[str, Any]:
         """JSON-serialisable summary for listings and the stats endpoint.
 
@@ -266,7 +279,17 @@ class ModelRegistry:
                 **from_checkpoint_kwargs,
             )
             self.replace(fresh)
+            # The retired deployment's shard pool would otherwise live until
+            # garbage collection; in-flight requests that already resolved
+            # to it transparently rebuild the pool if they still need it.
+            current.close()
             return fresh
+
+    def close_all(self) -> None:
+        """Close every registered deployment's worker pools (e.g. at process
+        shutdown).  Deployments stay registered and servable."""
+        for deployment in self.list():
+            deployment.close()
 
     def describe(self) -> List[Dict[str, Any]]:
         """JSON-serialisable summaries of every deployment (default first)."""

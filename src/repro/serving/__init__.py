@@ -16,7 +16,8 @@ into a cache-backed top-K service:
   ``repro serve`` CLI and the serving micro-benchmark.
 """
 
-from .config import SERVING_BACKENDS, SERVING_ENGINES, ServingConfig, resolve_config
+from .config import (SERVING_BACKENDS, SERVING_ENGINES, SHARD_BACKENDS,
+                     ServingConfig, resolve_config)
 from .recommender import Recommender, TopKResult, full_sort_topk
 from .store import EmbeddingStore
 from .throughput import ThroughputReport, measure_throughput, per_sequence_topk
@@ -26,6 +27,7 @@ __all__ = [
     "Recommender",
     "SERVING_BACKENDS",
     "SERVING_ENGINES",
+    "SHARD_BACKENDS",
     "ServingConfig",
     "ThroughputReport",
     "TopKResult",

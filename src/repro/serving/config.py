@@ -24,6 +24,12 @@ SERVING_BACKENDS = ("exact", "ivf", "ivfpq")
 #: plan of :mod:`repro.infer` (the default — bit-identical and faster)
 SERVING_ENGINES = ("graph", "compiled")
 
+#: shard execution backends: ``"local"`` scores shards sequentially in the
+#: serving process, ``"process"`` scatters to a multi-process worker pool
+#: (:class:`repro.shard.ShardPool`).  Both are bit-identical to each other
+#: and to every other shard count — see :mod:`repro.shard`.
+SHARD_BACKENDS = ("local", "process")
+
 
 @dataclass(frozen=True)
 class ServingConfig:
@@ -60,6 +66,16 @@ class ServingConfig:
         match the graph to top-k (bitwise for pure single-row traffic) but
         cached rows change GEMM batch compositions, so scores are no longer
         guaranteed bit-identical under arbitrary batching — hence opt-in.
+    shards:
+        Number of contiguous item-matrix partitions retrieval fans out over
+        (``1``, the default, keeps the historical single-scorer paths).  Any
+        value yields bit-identical results on the exact path; see
+        :mod:`repro.shard` for the aligned-block-grid argument.
+    shard_backend:
+        Where shard searches run when ``shards > 1``: ``"process"``
+        (default) scatters over a spawned worker pool holding the matrix
+        via zero-copy memmap, ``"local"`` scores the shards sequentially in
+        the serving process (useful for tests and single-core machines).
     """
 
     k: int = 10
@@ -69,6 +85,8 @@ class ServingConfig:
     overfetch_margin: int = 0
     engine: str = "compiled"
     session_cache: int = 0
+    shards: int = 1
+    shard_backend: str = "process"
 
     def __post_init__(self) -> None:
         if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
@@ -99,6 +117,16 @@ class ServingConfig:
             raise ValueError(
                 f"session_cache must be a non-negative integer, "
                 f"got {self.session_cache!r}"
+            )
+        if (isinstance(self.shards, bool) or not isinstance(self.shards, int)
+                or self.shards < 1):
+            raise ValueError(
+                f"shards must be a positive integer, got {self.shards!r}"
+            )
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"shard_backend must be one of {SHARD_BACKENDS}, "
+                f"got {self.shard_backend!r}"
             )
 
     @property
@@ -135,6 +163,8 @@ class ServingConfig:
             "overfetch_margin": self.overfetch_margin,
             "engine": self.engine,
             "session_cache": self.session_cache,
+            "shards": self.shards,
+            "shard_backend": self.shard_backend,
         }
 
     @classmethod

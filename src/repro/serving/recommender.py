@@ -37,6 +37,7 @@ import numpy as np
 
 from ..data.dataloader import pad_sequences
 from ..index import ItemIndex, build_index
+from ..index.base import topk_best_first
 from ..infer import InferenceEngine, UnsupportedModelError
 from ..training.evaluation import inference_catalogue_scores
 from .config import SERVING_BACKENDS, ServingConfig, resolve_config
@@ -242,6 +243,8 @@ class Recommender:
         self._fallback_tables: Dict[Tuple[str, str, str], np.ndarray] = {}
         self._popularity_cast: Optional[np.ndarray] = None
         self._engine_slot = _EngineSlot()
+        self._shard_client = None
+        self._shard_lock = threading.Lock()
         self._popularity: Optional[np.ndarray] = None
         if train_sequences is not None:
             counts = np.zeros(self.num_items + 1, dtype=np.float64)
@@ -280,6 +283,13 @@ class Recommender:
             self._indexes.clear()
             self._fallback_tables.clear()
             self._popularity_cast = None
+            # The shard pool (or local shard client) serves the previous
+            # generation's matrix: close it so the next sharded request
+            # re-shards the refreshed catalogue coherently.
+            with self._shard_lock:
+                client, self._shard_client = self._shard_client, None
+            if client is not None:
+                client.close()
 
     def refresh_item_matrix(self) -> None:
         """Drop the cached ``V``, every index built on it, and the compiled
@@ -354,6 +364,40 @@ class Recommender:
                              "recommenders wrapping the same model object")
         self._matrix_cache = other._matrix_cache
         self._engine_slot = other._engine_slot
+
+    def shard_client(self):
+        """The :class:`repro.shard.ShardClient` serving sharded retrieval.
+
+        Built lazily from the scoring-precision :meth:`item_matrix` under
+        the configured ``shards`` / ``shard_backend`` (a spawned
+        :class:`~repro.shard.ShardPool` holding the matrix via zero-copy
+        memmap, or an in-process :class:`~repro.shard.LocalShardClient`).
+        :meth:`refresh_item_matrix` closes and drops it, so the next
+        sharded request re-shards the new catalogue generation.
+        """
+        from ..shard import LocalShardClient, ShardPool
+
+        self._sync_generation()
+        with self._shard_lock:
+            if self._shard_client is None:
+                matrix = self.item_matrix()
+                if self.config.shard_backend == "process":
+                    self._shard_client = ShardPool.from_matrix(
+                        matrix, self.config.shards, transport="memmap",
+                        index_params=self.index_params)
+                else:
+                    self._shard_client = LocalShardClient(
+                        matrix, self.config.shards,
+                        index_params=self.index_params)
+            return self._shard_client
+
+    def close(self) -> None:
+        """Shut down the shard worker pool, if one was built.  Idempotent;
+        the recommender stays usable (a later sharded request rebuilds it)."""
+        with self._shard_lock:
+            client, self._shard_client = self._shard_client, None
+        if client is not None:
+            client.close()
 
     def item_index(self, backend: str = "ivf") -> ItemIndex:
         """The ANN index over the candidate matrix for ``backend`` (cached).
@@ -549,8 +593,8 @@ class Recommender:
         the K best candidates per row in O(num_items) instead of the
         O(num_items log num_items) full sort.  Ties are broken towards the
         smaller item id so the result is identical to :func:`full_sort_topk`
-        (exactly so whenever the K-th best score is unique; a tie straddling
-        the partition boundary may legitimately admit either candidate).
+        — including ties that straddle the partition boundary, which
+        :func:`repro.index.base.topk_best_first` resolves by id too.
         The exact path's float32 results are independent of batch composition
         (see :data:`repro.training.evaluation.MIN_SCORING_ROWS`), which is
         what makes dynamic micro-batching in :mod:`repro.service` lossless.
@@ -596,25 +640,148 @@ class Recommender:
                 f"{self.config.session_cache}, the config asks for "
                 f"{config.session_cache}"
             )
+        if (config.shards != self.config.shards
+                or config.shard_backend != self.config.shard_backend):
+            # The shard pool (worker processes, partition ranges, per-shard
+            # indexes) is built once from the structural config — a per-call
+            # override cannot re-shard a running pool.
+            raise ValueError(
+                f"per-call shards/shard_backend overrides are not supported: "
+                f"this recommender serves {self.config.shards} shard(s) via "
+                f"{self.config.shard_backend!r}, the config asks for "
+                f"{config.shards} via {config.shard_backend!r}"
+            )
         if config.backend != "exact":
+            if self.config.shards > 1:
+                return self._topk_with_index_sharded(sequences, config)
             return self._topk_with_index(sequences, config)
+        if self.config.shards > 1:
+            return self._topk_exact_sharded(sequences, config)
         return self._topk_exact(sequences, config)
 
     def _topk_exact(self, sequences: Sequence[Sequence[int]],
                     config: ServingConfig) -> TopKResult:
-        """Dense scan + argpartition extraction (the reference path)."""
+        """Dense scan + argpartition extraction (the reference path).
+
+        Extraction goes through :func:`repro.index.base.topk_best_first`, the
+        same total-order kernel the sharded path merges with — the
+        ``(-score, id)`` order holds even at duplicate-score selection
+        boundaries, which is what keeps single-process and scatter-gather
+        results bit-identical under ties.
+        """
         timing: Dict[str, float] = {"ms": 0.0}
         scores, cold = self.score(sequences, exclude_seen=config.exclude_seen,
                                   engine=config.engine, encode_timing=timing)
         k = min(config.k, self.num_items)
-        candidates = np.argpartition(scores, -k, axis=1)[:, -k:]
-        candidate_scores = np.take_along_axis(scores, candidates, axis=1)
-        order = np.lexsort((candidates, -candidate_scores), axis=1)
-        items = np.take_along_axis(candidates, order, axis=1)
-        top_scores = np.take_along_axis(candidate_scores, order, axis=1)
+        all_ids = np.broadcast_to(
+            np.arange(scores.shape[1], dtype=np.int64), scores.shape)
+        items, top_scores = topk_best_first(all_ids, scores, k)
         return TopKResult(items=items, scores=top_scores, cold=cold,
                           engine=self._engine_label(config.engine),
                           encode_ms=round(timing["ms"], 3))
+
+    def _topk_exact_sharded(self, sequences: Sequence[Sequence[int]],
+                            config: ServingConfig) -> TopKResult:
+        """Exact retrieval scattered over the shard client.
+
+        Warm rows are encoded once (same batch, same engine as the dense
+        path) and searched across every shard with masking semantics — the
+        padding item and, under ``exclude_seen``, the history score ``-inf``
+        but stay candidates — so the merged result carries the dense path's
+        exact contract.  Results are bit-identical for every shard count and
+        both shard backends (see :mod:`repro.shard`).  Cold rows score in
+        their fallback space in-process, exactly as the dense path does.
+        """
+        histories, servable, cold = self._classify(sequences)
+        batch_size = len(histories)
+        k = min(config.k, self.num_items)
+        items = np.empty((batch_size, k), dtype=np.int64)
+        scores = np.empty((batch_size, k), dtype=self.dtype)
+
+        timing: Dict[str, float] = {"ms": 0.0}
+        warm_rows = np.flatnonzero(~cold)
+        if warm_rows.size:
+            encode, timing = self._encoder(config.engine)
+            users = self._encode_warm_rows(servable, warm_rows,
+                                           encoder=encode)
+            exclude = []
+            for row in warm_rows:
+                masked = [0]  # the padding item is never recommendable
+                if config.exclude_seen and histories[row]:
+                    masked.extend(histories[row])
+                exclude.append(masked)
+            warm_items, warm_scores = self.shard_client().search(
+                np.asarray(users), k, exclude=exclude, backend="exact")
+            items[warm_rows] = warm_items
+            scores[warm_rows] = warm_scores.astype(self.dtype, copy=False)
+
+        cold_rows = np.flatnonzero(cold)
+        if cold_rows.size:
+            fallback = self._fallback_scores(
+                [histories[row] for row in cold_rows])
+            fallback[:, 0] = -np.inf
+            if config.exclude_seen:
+                for local, row in enumerate(cold_rows):
+                    if histories[row]:
+                        fallback[local, histories[row]] = -np.inf
+            all_ids = np.broadcast_to(
+                np.arange(fallback.shape[1], dtype=np.int64), fallback.shape)
+            cold_items, cold_scores = topk_best_first(all_ids, fallback, k)
+            items[cold_rows] = cold_items
+            scores[cold_rows] = cold_scores
+
+        return TopKResult(items=items, scores=scores, cold=cold,
+                          engine=self._engine_label(config.engine),
+                          encode_ms=round(timing["ms"], 3))
+
+    def _topk_with_index_sharded(self, sequences: Sequence[Sequence[int]],
+                                 config: ServingConfig) -> TopKResult:
+        """ANN retrieval through per-shard indexes in the shard client.
+
+        Mirrors :meth:`_topk_with_index` semantics — over-fetch, filter the
+        seen items, fall back to the exact path for cold rows and rows the
+        candidates cannot fill — but both the index searches and the exact
+        fallback run through the shard client.
+        """
+        histories, servable, cold = self._classify(sequences)
+        batch_size = len(histories)
+        k = min(config.k, self.num_items)
+        items = np.full((batch_size, k), -1, dtype=np.int64)
+        scores = np.full((batch_size, k), -np.inf, dtype=self.dtype)
+
+        exact_rows = set(int(row) for row in np.flatnonzero(cold))
+        warm_rows = np.flatnonzero(~cold)
+        encode_timing: Dict[str, float] = {"ms": 0.0}
+        if warm_rows.size:
+            encode, encode_timing = self._encoder(config.engine)
+            users = self._encode_warm_rows(
+                servable, warm_rows, encoder=encode).astype(self.dtype,
+                                                            copy=False)
+            exclude = [histories[row] if config.exclude_seen else []
+                       for row in warm_rows]
+            warm_items, warm_scores = self.shard_client().search(
+                users, k, exclude=exclude, backend=config.backend,
+                overfetch=config.overfetch_margin)
+            for local, row in enumerate(warm_rows):
+                if warm_items.shape[1] < k or np.any(warm_items[local] < 0):
+                    exact_rows.add(int(row))
+                else:
+                    items[row] = warm_items[local]
+                    scores[row] = warm_scores[local].astype(self.dtype,
+                                                            copy=False)
+
+        if exact_rows:
+            rows = sorted(exact_rows)
+            fallback = self._topk_exact_sharded(
+                [sequences[row] for row in rows],
+                config.with_overrides(backend="exact"),
+            )
+            items[rows] = fallback.items
+            scores[rows] = fallback.scores
+            encode_timing["ms"] += fallback.encode_ms
+        return TopKResult(items=items, scores=scores, cold=cold,
+                          engine=self._engine_label(config.engine),
+                          encode_ms=round(encode_timing["ms"], 3))
 
     def _topk_with_index(self, sequences: Sequence[Sequence[int]],
                          config: ServingConfig) -> TopKResult:

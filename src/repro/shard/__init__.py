@@ -1,0 +1,48 @@
+"""Sharded scatter-gather serving over a multi-process worker pool.
+
+This package partitions the candidate item matrix (and, on the ANN path,
+per-shard IVF/IVF-PQ indexes) across N workers so the catalogue GEMM — the
+single O(num_items) cost every warm request pays — runs on all cores at
+once instead of inside one GIL-bound process:
+
+* :mod:`repro.shard.partition` — contiguous, block-aligned shard ranges;
+* :mod:`repro.shard.scoring`   — the blocked scoring kernel whose output is
+  *bit-identical for every shard count* by construction (each fixed
+  ``block_rows``-aligned GEMM is the same call no matter which shard owns
+  it);
+* :mod:`repro.shard.merge`     — the exact top-K merge, reusing the
+  ``(-score, smaller id)`` tie-breaking contract of
+  :func:`repro.index.base.topk_best_first`;
+* :mod:`repro.shard.layout`    — the memmap-friendly on-disk item-matrix
+  layout workers map zero-copy;
+* :mod:`repro.shard.client`    — the :class:`ShardClient` interface plus the
+  in-process :class:`LocalShardClient` (the single-process scorer is just
+  the 1-shard case);
+* :mod:`repro.shard.pool`      — :class:`ShardPool`, the multi-process
+  scatter-gather client with typed fault handling, worker restart and
+  leak-free shutdown.
+"""
+
+from .client import LocalShardClient, ShardClient
+from .layout import ItemMatrixLayout
+from .merge import merge_topk
+from .partition import DEFAULT_BLOCK_ROWS, partition_ranges
+from .pool import (PoolClosedError, ShardError, ShardPool, ShardTimeout,
+                   WorkerCrashed)
+from .scoring import exact_shard_topk, partition_scores
+
+__all__ = [
+    "DEFAULT_BLOCK_ROWS",
+    "ItemMatrixLayout",
+    "LocalShardClient",
+    "PoolClosedError",
+    "ShardClient",
+    "ShardError",
+    "ShardPool",
+    "ShardTimeout",
+    "WorkerCrashed",
+    "exact_shard_topk",
+    "merge_topk",
+    "partition_ranges",
+    "partition_scores",
+]

@@ -1,0 +1,47 @@
+"""Block-aligned contiguous partitions of the item-matrix rows.
+
+Shard boundaries always fall on multiples of ``block_rows`` — the same grid
+the blocked scoring kernel (:mod:`repro.shard.scoring`) computes its GEMMs
+on.  That alignment is what makes the sharded scores *bit-identical for
+every shard count*: any partition of an aligned block grid executes exactly
+the same set of GEMM calls (same operand rows, same shapes), just
+distributed over different processes, so there is no BLAS blocking or
+accumulation-order freedom left for a shard boundary to perturb.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: default scoring-block height (rows of the item matrix per GEMM call).
+#: Catalogues at or below one block degenerate to the single full-matrix
+#: GEMM the dense serving path issues, so small-scale sharded serving stays
+#: bit-identical to the historical exact path too.
+DEFAULT_BLOCK_ROWS = 1024
+
+
+def partition_ranges(num_rows: int, num_shards: int,
+                     block_rows: int = DEFAULT_BLOCK_ROWS
+                     ) -> List[Tuple[int, int]]:
+    """Split ``num_rows`` into ``num_shards`` contiguous aligned ranges.
+
+    Whole scoring blocks are distributed as evenly as possible; every
+    boundary is a multiple of ``block_rows`` (except the final row count
+    itself).  When there are fewer blocks than shards the trailing shards
+    get empty ``(num_rows, num_rows)`` ranges — a legal degenerate case the
+    merge contract (and its property tests) must handle.
+    """
+    if not isinstance(num_rows, int) or num_rows < 0:
+        raise ValueError(f"num_rows must be a non-negative integer, got {num_rows!r}")
+    if not isinstance(num_shards, int) or num_shards < 1:
+        raise ValueError(f"num_shards must be a positive integer, got {num_shards!r}")
+    if not isinstance(block_rows, int) or block_rows < 1:
+        raise ValueError(f"block_rows must be a positive integer, got {block_rows!r}")
+    num_blocks = -(-num_rows // block_rows)  # ceil division
+    ranges: List[Tuple[int, int]] = []
+    for shard in range(num_shards):
+        first = shard * num_blocks // num_shards
+        last = (shard + 1) * num_blocks // num_shards
+        ranges.append((min(first * block_rows, num_rows),
+                       min(last * block_rows, num_rows)))
+    return ranges

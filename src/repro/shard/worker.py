@@ -1,0 +1,113 @@
+"""The shard worker process: attach the matrix, loop on pipe RPC.
+
+Each worker owns one contiguous row range of the item matrix, reached
+through whichever zero-copy transport the pool chose:
+
+* ``{"kind": "layout", "directory": ...}`` — ``np.memmap`` over the
+  :class:`~repro.shard.layout.ItemMatrixLayout` ``.npy`` (OS page cache
+  shares the physical pages between all workers), or
+* ``{"kind": "shm", "name", "shape", "dtype"}`` — an ndarray view over a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment the parent
+  created (the parent owns the unlink; workers only attach and close).
+
+The protocol is strictly sequential request/reply over one duplex pipe:
+``(op, seq, payload)`` in, ``("ok", seq, result)`` or
+``("error", seq, "Type: message")`` out.  The ``seq`` echo lets the pool
+discard stale replies after a timeout.  Searches run through
+:func:`repro.shard.client.single_shard_search` — the same kernel the
+in-process client uses — so worker results are bitwise identical to local
+results by shared code, not by re-implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+
+def _attach(source: Dict[str, Any]):
+    """Map the item matrix described by ``source``.
+
+    Returns ``(matrix, shm)`` where ``shm`` is the attached shared-memory
+    segment to close on exit (``None`` for the memmap transport).
+    """
+    kind = source.get("kind")
+    if kind == "layout":
+        from .layout import ItemMatrixLayout
+
+        layout = ItemMatrixLayout.open(source["directory"])
+        return layout.matrix(), None
+    if kind == "shm":
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=source["name"])
+        matrix = np.ndarray(tuple(source["shape"]),
+                            dtype=np.dtype(source["dtype"]),
+                            buffer=segment.buf)
+        return matrix, segment
+    raise ValueError(f"unknown matrix source kind {kind!r}")
+
+
+def worker_main(conn, source: Dict[str, Any], lo: int, hi: int,
+                block_rows: int, index_params: Optional[Dict]) -> None:
+    """Entry point executed in the spawned worker process."""
+    from .client import single_shard_search
+
+    index_cache: Dict[str, Any] = {}
+    matrix = segment = None
+    crash_armed = False
+    try:
+        matrix, segment = _attach(source)
+        while True:
+            try:
+                op, seq, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            try:
+                if op == "search":
+                    if crash_armed:
+                        os._exit(13)
+                    result: Tuple[np.ndarray, np.ndarray] = single_shard_search(
+                        matrix, lo, hi,
+                        payload["queries"], payload["k"], payload["exclude"],
+                        payload["backend"], payload["overfetch"],
+                        block_rows, index_params, index_cache)
+                    conn.send(("ok", seq, result))
+                elif op == "ping":
+                    conn.send(("ok", seq, os.getpid()))
+                elif op == "sleep":
+                    # Test hook: occupy the worker so timeout handling and
+                    # stale-reply draining can be exercised deterministically.
+                    time.sleep(float(payload))
+                    conn.send(("ok", seq, None))
+                elif op == "crash":
+                    # Test hook: die mid-request without replying, as a
+                    # SIGKILLed or OOM-killed worker would.
+                    os._exit(13)
+                elif op == "crash_next":
+                    # Test hook: die on receipt of the *next* search, after
+                    # the pool has already scattered it — deterministic
+                    # "killed mid-request" without racing the respawn check.
+                    crash_armed = True
+                    conn.send(("ok", seq, None))
+                elif op == "stop":
+                    conn.send(("ok", seq, None))
+                    break
+                else:
+                    conn.send(("error", seq, f"ValueError: unknown op {op!r}"))
+            except Exception as exc:  # surface, don't die: pool re-raises typed
+                try:
+                    conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
+                except OSError:
+                    break
+    finally:
+        if segment is not None:
+            del matrix
+            segment.close()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -11,6 +11,16 @@ import numpy as np
 import pytest
 
 from repro.data.splits import leave_one_out_split
+
+
+def pytest_configure(config):
+    # `timeout` belongs to pytest-timeout (installed in CI so multiprocess
+    # tests can never hang the run); registering it here keeps the marker
+    # warning-free on machines without the plugin, where it is simply inert.
+    config.addinivalue_line(
+        "markers", "timeout(seconds): per-test deadline (pytest-timeout)")
+    config.addinivalue_line(
+        "markers", "slow: opt-in heavyweight test (set REPRO_SLOW_TESTS=1)")
 from repro.data.synthetic import dataset_config, generate_dataset
 from repro.models.base import ModelConfig
 from repro.text.features import encode_items

@@ -625,6 +625,26 @@ class TestBenchRegressionGate:
         fresh = {"other": 1.0}
         assert self._run(gate, tmp_path, baseline, fresh) == 1
 
+    def test_fails_on_null_tracked_metric(self, gate, tmp_path):
+        """A NaN/inf measurement serialises to JSON null; the gate must not
+        let a tracked metric silently stop being a number."""
+        baseline = {"scan_rate_per_s": 500.0}
+        fresh = {"scan_rate_per_s": None}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_fails_on_non_numeric_tracked_metric(self, gate, tmp_path):
+        baseline = {"speedup": 2.0}
+        fresh = {"speedup": "fast"}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_fails_on_non_boolean_parity_value(self, gate, tmp_path):
+        baseline = {"identical_topk": True}
+        fresh = {"identical_topk": None}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_tracks_shard_bench_file(self, gate):
+        assert "BENCH_shard.json" in gate.TRACKED_FILES
+
     def test_missing_fresh_file_fails(self, gate, tmp_path):
         import json
 

@@ -501,6 +501,130 @@ class TestThroughputHelpers:
         assert report.sequences_per_second > 0
 
 
+class TestShardedServing:
+    """`ServingConfig.shards` routes retrieval through `repro.shard` with
+    bit-identical results to the historical single-scorer paths."""
+
+    @pytest.fixture()
+    def recommender(self, serving_setup):
+        _, _, features, model = serving_setup
+        built = Recommender(model, store=EmbeddingStore(features))
+        yield built
+        built.close()
+
+    def test_config_validates_shard_fields(self):
+        with pytest.raises(ValueError):
+            ServingConfig(shards=0)
+        with pytest.raises(ValueError):
+            ServingConfig(shards=True)
+        with pytest.raises(ValueError):
+            ServingConfig(shard_backend="threads")
+        config = ServingConfig(shards=3, shard_backend="local")
+        assert config.to_dict()["shards"] == 3
+        assert config.to_dict()["shard_backend"] == "local"
+
+    @pytest.mark.timeout(180)
+    @pytest.mark.parametrize("shards,shard_backend", [
+        (1, "local"), (2, "local"), (3, "local"), (2, "process"),
+    ])
+    def test_sharded_exact_path_is_bit_identical(self, serving_setup,
+                                                 shards, shard_backend):
+        _, split, features, model = serving_setup
+        histories = [case.history for case in split.test[:24]]
+        # A history of novel ids forces the cold fallback path alongside.
+        histories.append([5000, 5001])
+        legacy = Recommender(model, store=EmbeddingStore(features))
+        expected = legacy.topk(histories, k=10)
+        sharded = Recommender(model, store=EmbeddingStore(features),
+                              config=ServingConfig(
+                                  shards=shards, shard_backend=shard_backend))
+        try:
+            result = sharded.topk(histories, k=10)
+        finally:
+            sharded.close()
+        assert np.array_equal(expected.items, result.items)
+        assert np.array_equal(expected.scores, result.scores)
+        assert np.array_equal(expected.cold, result.cold)
+
+    @pytest.mark.timeout(180)
+    def test_sharded_ann_path_serves_valid_items(self, serving_setup):
+        _, split, features, model = serving_setup
+        histories = [case.history for case in split.test[:8]]
+        recommender = Recommender(
+            model, store=EmbeddingStore(features),
+            index_params={"n_lists": 4, "nprobe": 4},
+            config=ServingConfig(backend="ivf", shards=2,
+                                 shard_backend="local"))
+        try:
+            result = recommender.topk(histories, k=5)
+        finally:
+            recommender.close()
+        assert result.items.shape == (8, 5)
+        assert (result.items > 0).all()  # row 0 (padding) is never served
+        for row, history in enumerate(histories):
+            assert not np.isin(result.items[row], history).any()
+
+    def test_shard_fields_are_structural(self, recommender, serving_setup):
+        """Like score_dtype, shards cannot be overridden per call — the
+        shard pool is part of the recommender's identity."""
+        _, split, _, _ = serving_setup
+        history = [split.test[0].history]
+        with pytest.raises(ValueError):
+            recommender.topk(history, config=ServingConfig(
+                k=5, shards=4))
+        with pytest.raises(ValueError):
+            recommender.topk(history, config=ServingConfig(
+                k=5, shard_backend="local"))
+
+    def test_refresh_item_matrix_reshards(self, serving_setup):
+        """Generation-stamp invalidation: after a refresh the shard client
+        is rebuilt, and results still match the legacy path."""
+        _, split, features, model = serving_setup
+        histories = [case.history for case in split.test[:6]]
+        legacy = Recommender(model, store=EmbeddingStore(features))
+        sharded = Recommender(model, store=EmbeddingStore(features),
+                              config=ServingConfig(shards=2,
+                                                   shard_backend="local"))
+        try:
+            before = sharded.shard_client()
+            assert np.array_equal(legacy.topk(histories, k=8).items,
+                                  sharded.topk(histories, k=8).items)
+            sharded.refresh_item_matrix()
+            legacy.refresh_item_matrix()
+            after = sharded.shard_client()
+            assert after is not before
+            assert np.array_equal(legacy.topk(histories, k=8).items,
+                                  sharded.topk(histories, k=8).items)
+        finally:
+            sharded.close()
+
+    def test_close_is_idempotent_and_recommender_stays_usable(
+            self, serving_setup):
+        _, split, features, model = serving_setup
+        recommender = Recommender(model, store=EmbeddingStore(features),
+                                  config=ServingConfig(shards=2,
+                                                       shard_backend="local"))
+        first = recommender.topk([split.test[0].history], k=5)
+        recommender.close()
+        recommender.close()
+        again = recommender.topk([split.test[0].history], k=5)
+        assert np.array_equal(first.items, again.items)
+        recommender.close()
+
+    def test_cli_rejects_invalid_shard_arguments(self, capsys):
+        assert cli_main(["serve", "arts", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert cli_main(["serve", "arts", "--shard-backend", "rpc"]) == 2
+        assert "shard backend" in capsys.readouterr().err
+
+    def test_cli_help_documents_sharding(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--shards" in help_text
+        assert "--shard-backend" in help_text
+
+
 class TestServeCLI:
     def test_serve_from_checkpoint(self, tmp_path, capsys):
         # Build a checkpoint aligned with the CLI's default dataset settings

@@ -1,0 +1,388 @@
+"""Tests for :mod:`repro.shard` — sharded scatter-gather retrieval.
+
+Three layers of guarantees:
+
+* **the merge contract** (property-tested with Hypothesis): merging
+  per-partition top-K blocks with :func:`repro.shard.merge.merge_topk`
+  reproduces the single-process :func:`repro.index.base.topk_best_first`
+  bit-for-bit — ids *and* scores, including the smaller-id tie-break —
+  for arbitrary catalogues, partitions (empty and size-1 shards included),
+  duplicate scores, and ``k`` larger than any shard;
+* **end-to-end parity**: :class:`LocalShardClient` and the multi-process
+  :class:`ShardPool` (both transports) return identical results for every
+  shard count, which the aligned block grid guarantees by construction;
+* **fault paths**: a worker killed mid-request surfaces as a typed
+  :class:`WorkerCrashed` (never a hang), the pool respawns the dead slot,
+  timeouts raise :class:`ShardTimeout` and late replies are drained, and
+  ``close()`` leaves no orphan processes and no leaked shared-memory
+  segments.
+
+All multiprocess tests carry ``pytest.mark.timeout`` so a protocol bug can
+never hang CI (the plugin is installed there; locally the marker is inert).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.index.base import topk_best_first
+from repro.shard import (DEFAULT_BLOCK_ROWS, ItemMatrixLayout,
+                         LocalShardClient, PoolClosedError, ShardPool,
+                         ShardTimeout, WorkerCrashed, merge_topk,
+                         partition_ranges)
+from repro.shard.merge import merged_width
+from repro.shard.scoring import exact_shard_topk
+
+PROCESS_TIMEOUT = 120.0  # generous: spawn start-up on loaded CI runners
+
+
+# --------------------------------------------------------------------- #
+# Partitioning
+# --------------------------------------------------------------------- #
+class TestPartitionRanges:
+    def test_covers_every_row_exactly_once(self):
+        for num_rows in (0, 1, 5, 1024, 1025, 5000):
+            for num_shards in (1, 2, 3, 7):
+                ranges = partition_ranges(num_rows, num_shards, 1024)
+                assert len(ranges) == num_shards
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == num_rows
+                for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                    assert hi == lo
+
+    def test_boundaries_are_block_aligned(self):
+        ranges = partition_ranges(10_000, 3, 1024)
+        for lo, hi in ranges:
+            assert lo % 1024 == 0
+            assert hi % 1024 == 0 or hi == 10_000
+
+    def test_small_catalogue_degenerates_to_one_real_shard(self):
+        """< block_rows rows: shard 0 takes everything, the rest are empty —
+        that is what makes the sharded exact path bit-identical to the
+        legacy single-GEMM dense path on small catalogues."""
+        ranges = partition_ranges(91, 4, 1024)
+        real = [(lo, hi) for lo, hi in ranges if hi > lo]
+        assert real == [(0, 91)]
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            partition_ranges(10, 0, 1024)
+        with pytest.raises(ValueError):
+            partition_ranges(-1, 2, 1024)
+        with pytest.raises(ValueError):
+            partition_ranges(10, 2, 0)
+
+
+# --------------------------------------------------------------------- #
+# The exact-merge contract (Hypothesis)
+# --------------------------------------------------------------------- #
+def _random_partition(draw, num_rows):
+    """An arbitrary ordered partition of [0, num_rows) into >= 1 ranges,
+    deliberately allowing empty and size-1 shards."""
+    num_cuts = draw(st.integers(min_value=0, max_value=6))
+    cuts = sorted(draw(st.lists(
+        st.integers(min_value=0, max_value=num_rows),
+        min_size=num_cuts, max_size=num_cuts)))
+    edges = [0, *cuts, num_rows]
+    return list(zip(edges, edges[1:]))
+
+
+@st.composite
+def merge_cases(draw):
+    batch = draw(st.integers(min_value=1, max_value=3))
+    num_rows = draw(st.integers(min_value=0, max_value=60))
+    # A tiny score alphabet forces heavy duplication, so the smaller-id
+    # tie-break is exercised on nearly every example.
+    alphabet = st.sampled_from([-2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0])
+    scores = np.array(
+        draw(st.lists(st.lists(alphabet, min_size=num_rows, max_size=num_rows),
+                      min_size=batch, max_size=batch)),
+        dtype=np.float32).reshape(batch, num_rows)
+    parts = _random_partition(draw, num_rows)
+    k = draw(st.integers(min_value=0, max_value=num_rows + 5))
+    return scores, parts, k
+
+
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=merge_cases())
+def test_merge_matches_single_process_topk(case):
+    """merge(topk(part_i), k) == topk(whole catalogue, k), bit for bit."""
+    scores, parts, k = case
+    batch, num_rows = scores.shape
+    ids = np.broadcast_to(np.arange(num_rows, dtype=np.int64),
+                          (batch, num_rows))
+
+    shard_parts = []
+    for lo, hi in parts:
+        part_ids = np.broadcast_to(np.arange(lo, hi, dtype=np.int64),
+                                   (batch, hi - lo))
+        shard_parts.append(topk_best_first(part_ids, scores[:, lo:hi], k))
+
+    merged_ids, merged_scores = merge_topk(shard_parts, k)
+    expected_ids, expected_scores = topk_best_first(ids, scores, k)
+
+    assert merged_ids.dtype == expected_ids.dtype
+    assert np.array_equal(merged_ids, expected_ids)
+    assert np.array_equal(merged_scores, expected_scores)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=merge_cases(), block_rows=st.sampled_from([1, 4, 16]))
+def test_exact_shard_topk_composes_with_merge(case, block_rows):
+    """The real shard kernel (exact_shard_topk over row ranges) merges to
+    the single-process answer whenever the partition is block-aligned."""
+    scores, _, k = case
+    batch, num_rows = scores.shape
+    # Re-derive a block-aligned partition; scores act as the "matrix" by
+    # using one-hot-free trick: build a matrix whose Q @ M.T equals scores.
+    # Simpler: treat each row of `scores` as precomputed; exact_shard_topk
+    # needs a real matrix, so synthesise M = I-scaled embedding instead.
+    dim = 4
+    rng = np.random.default_rng(num_rows * 131 + k)
+    matrix = rng.standard_normal((num_rows, dim)).astype(np.float32)
+    queries = rng.standard_normal((batch, dim)).astype(np.float32)
+
+    ranges = partition_ranges(num_rows, 3, block_rows)
+    parts = [exact_shard_topk(queries, matrix, lo, hi, k,
+                              exclude=None, block_rows=block_rows)
+             for lo, hi in ranges]
+    merged_ids, merged_scores = merge_topk(parts, k)
+
+    full = [exact_shard_topk(queries, matrix, 0, num_rows, k,
+                             exclude=None, block_rows=block_rows)]
+    expected_ids, expected_scores = merge_topk(full, k)
+    assert np.array_equal(merged_ids, expected_ids)
+    assert np.array_equal(merged_scores, expected_scores)
+
+
+class TestMergeTopk:
+    def test_k_zero_and_empty_parts(self):
+        empty = (np.empty((2, 0), dtype=np.int64),
+                 np.empty((2, 0), dtype=np.float32))
+        ids, scores = merge_topk([empty, empty], 5)
+        assert ids.shape == (2, 0) and scores.shape == (2, 0)
+
+    def test_duplicate_scores_prefer_smaller_ids_across_shards(self):
+        """All-equal scores: the merged top-k must be the globally smallest
+        ids, even when they straddle the shard boundary."""
+        scores = np.zeros((1, 10), dtype=np.float32)
+        parts = []
+        for lo, hi in ((0, 4), (4, 10)):
+            part_ids = np.arange(lo, hi, dtype=np.int64)[None, :]
+            parts.append(topk_best_first(part_ids, scores[:, lo:hi], 6))
+        ids, _ = merge_topk(parts, 6)
+        assert ids.tolist() == [[0, 1, 2, 3, 4, 5]]
+
+    def test_rejects_mismatched_batches(self):
+        part_a = (np.zeros((1, 2), dtype=np.int64), np.zeros((1, 2)))
+        part_b = (np.zeros((2, 2), dtype=np.int64), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            merge_topk([part_a, part_b], 2)
+
+    def test_merged_width(self):
+        assert merged_width([3, 0, 2], 4) == 4
+        assert merged_width([1, 1], 4) == 2
+
+
+# --------------------------------------------------------------------- #
+# LocalShardClient parity
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def shard_matrix():
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((2600, 24)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def shard_queries():
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((5, 24)).astype(np.float32)
+
+
+EXCLUDES = [[0], [0, 5, 17], [0, 2599], [0], [0, 1024, 1025, 2048]]
+
+
+class TestLocalShardClient:
+    def test_every_shard_count_is_bit_identical(self, shard_matrix,
+                                                shard_queries):
+        reference = LocalShardClient(shard_matrix, 1, block_rows=1024)
+        ref_ids, ref_scores = reference.search(shard_queries, 12,
+                                               exclude=EXCLUDES)
+        for num_shards in (2, 3, 4, 7):
+            client = LocalShardClient(shard_matrix, num_shards,
+                                      block_rows=1024)
+            ids, scores = client.search(shard_queries, 12, exclude=EXCLUDES)
+            assert np.array_equal(ref_ids, ids), f"shards={num_shards}"
+            assert np.array_equal(ref_scores, scores), f"shards={num_shards}"
+
+    def test_matches_raw_topk_best_first(self, shard_matrix, shard_queries):
+        client = LocalShardClient(shard_matrix, 3, block_rows=1024)
+        ids, scores = client.search(shard_queries, 8, exclude=EXCLUDES)
+        full = shard_queries @ shard_matrix.T
+        for row, banned in enumerate(EXCLUDES):
+            full[row, banned] = -np.inf
+        all_ids = np.broadcast_to(
+            np.arange(shard_matrix.shape[0], dtype=np.int64),
+            full.shape)
+        expected_ids, _ = topk_best_first(all_ids, full, 8)
+        assert np.array_equal(ids, expected_ids)
+        assert not np.isin(ids, [0]).any()
+
+    def test_k_larger_than_catalogue(self, shard_matrix, shard_queries):
+        client = LocalShardClient(shard_matrix[:30], 3, block_rows=8)
+        ids, scores = client.search(shard_queries, 100)
+        assert ids.shape == (5, 30) and scores.shape == (5, 30)
+
+    def test_context_manager(self, shard_matrix, shard_queries):
+        with LocalShardClient(shard_matrix, 2) as client:
+            ids, _ = client.search(shard_queries, 4)
+        assert ids.shape == (5, 4)
+
+    def test_ann_backend_returns_valid_candidates(self, shard_matrix,
+                                                  shard_queries):
+        client = LocalShardClient(shard_matrix, 2,
+                                  index_params={"n_lists": 8, "nprobe": 8})
+        ids, scores = client.search(shard_queries, 10, backend="ivf",
+                                    exclude=EXCLUDES, overfetch=8)
+        assert ids.shape[0] == 5
+        valid = ids >= 0
+        assert valid.any(axis=1).all()
+        for row, banned in enumerate(EXCLUDES):
+            returned = ids[row][valid[row]]
+            assert not np.isin(returned, banned).any()
+            assert 0 not in returned
+
+
+# --------------------------------------------------------------------- #
+# ShardPool: multi-process parity and fault paths
+# --------------------------------------------------------------------- #
+@pytest.mark.timeout(180)
+class TestShardPool:
+    def test_memmap_transport_parity(self, shard_matrix, shard_queries):
+        reference = LocalShardClient(shard_matrix, 1)
+        ref_ids, ref_scores = reference.search(shard_queries, 10,
+                                               exclude=EXCLUDES)
+        with ShardPool.from_matrix(shard_matrix, 2, transport="memmap",
+                                   timeout=PROCESS_TIMEOUT) as pool:
+            owned_dir = pool._state["owned_dir"]
+            assert Path(owned_dir).exists()
+            ids, scores = pool.search(shard_queries, 10, exclude=EXCLUDES)
+            assert np.array_equal(ref_ids, ids)
+            assert np.array_equal(ref_scores, scores)
+        assert not Path(owned_dir).exists()  # owned layout removed on close
+
+    def test_shm_transport_parity_and_unlink(self, shard_matrix,
+                                             shard_queries):
+        from multiprocessing import shared_memory
+
+        reference = LocalShardClient(shard_matrix, 1)
+        ref_ids, ref_scores = reference.search(shard_queries, 10,
+                                               exclude=EXCLUDES)
+        pool = ShardPool.from_matrix(shard_matrix, 2, transport="shm",
+                                     timeout=PROCESS_TIMEOUT)
+        segment_name = pool._state["segment"].name
+        try:
+            ids, scores = pool.search(shard_queries, 10, exclude=EXCLUDES)
+            assert np.array_equal(ref_ids, ids)
+            assert np.array_equal(ref_scores, scores)
+        finally:
+            pool.close()
+        assert not multiprocessing.active_children()
+        with pytest.raises(FileNotFoundError):  # segment must be unlinked
+            shared_memory.SharedMemory(name=segment_name)
+
+    def test_worker_killed_mid_request_raises_then_heals(self, shard_matrix,
+                                                         shard_queries):
+        reference = LocalShardClient(shard_matrix, 1)
+        ref_ids, _ = reference.search(shard_queries, 10, exclude=EXCLUDES)
+        with ShardPool.from_matrix(shard_matrix, 2,
+                                   timeout=PROCESS_TIMEOUT) as pool:
+            # Arm shard 0 to die on receipt of the *next* search — after the
+            # pool has scattered it, i.e. genuinely mid-request.
+            pool._request(0, "crash_next")
+            with pytest.raises(WorkerCrashed) as excinfo:
+                pool.search(shard_queries, 10)
+            assert "respawned" in str(excinfo.value)
+            # The next search transparently respawns the dead slot.
+            ids, _ = pool.search(shard_queries, 10, exclude=EXCLUDES)
+            assert np.array_equal(ref_ids, ids)
+            assert pool.stats()["restarts"] >= 1
+        assert not multiprocessing.active_children()
+
+    def test_timeout_is_typed_and_late_reply_is_drained(self, shard_matrix,
+                                                        shard_queries):
+        reference = LocalShardClient(shard_matrix, 1)
+        ref_ids, _ = reference.search(shard_queries, 10, exclude=EXCLUDES)
+        with ShardPool.from_matrix(shard_matrix, 2,
+                                   timeout=PROCESS_TIMEOUT) as pool:
+            pool.ping()
+            pool.timeout = 0.5
+            pool._post(0, "sleep", 2.5)
+            with pytest.raises(ShardTimeout):
+                pool.search(shard_queries, 5)
+            time.sleep(2.5)  # let the worker finish sleeping + reply late
+            pool.timeout = PROCESS_TIMEOUT
+            # The stale reply must be drained by sequence number, not
+            # misattributed to this fresh request.
+            ids, _ = pool.search(shard_queries, 10, exclude=EXCLUDES)
+            assert np.array_equal(ref_ids, ids)
+
+    def test_close_is_idempotent_and_use_after_close_is_typed(
+            self, shard_matrix, shard_queries):
+        pool = ShardPool.from_matrix(shard_matrix, 2,
+                                     timeout=PROCESS_TIMEOUT)
+        assert len(pool.ping()) == 2
+        pool.close()
+        pool.close()
+        assert pool.closed
+        assert not multiprocessing.active_children()
+        with pytest.raises(PoolClosedError):
+            pool.search(shard_queries, 5)
+
+    def test_rejects_unknown_transport(self, shard_matrix):
+        with pytest.raises(ValueError):
+            ShardPool.from_matrix(shard_matrix, 2, transport="carrier-pigeon")
+
+
+# --------------------------------------------------------------------- #
+# ItemMatrixLayout
+# --------------------------------------------------------------------- #
+class TestItemMatrixLayout:
+    def test_write_open_roundtrip(self, tmp_path, shard_matrix):
+        layout = ItemMatrixLayout.write(shard_matrix, tmp_path / "layout")
+        reopened = ItemMatrixLayout.open(tmp_path / "layout")
+        assert reopened.num_rows == shard_matrix.shape[0]
+        assert reopened.dim == shard_matrix.shape[1]
+        mapped = reopened.matrix()
+        assert isinstance(mapped, np.memmap)
+        assert np.array_equal(np.asarray(mapped), shard_matrix)
+
+    def test_pool_from_layout(self, tmp_path, shard_matrix, shard_queries):
+        layout = ItemMatrixLayout.write(shard_matrix, tmp_path / "layout")
+        reference = LocalShardClient(shard_matrix, 1)
+        ref_ids, ref_scores = reference.search(shard_queries, 10)
+        with ShardPool.from_layout(layout, 2,
+                                   timeout=PROCESS_TIMEOUT) as pool:
+            ids, scores = pool.search(shard_queries, 10)
+        assert np.array_equal(ref_ids, ids)
+        assert np.array_equal(ref_scores, scores)
+        # from_layout does not own the directory: close() must keep it.
+        assert (tmp_path / "layout").exists()
+
+    def test_open_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ItemMatrixLayout.open(tmp_path / "absent")
+
+    def test_delete_removes_directory(self, tmp_path, shard_matrix):
+        layout = ItemMatrixLayout.write(shard_matrix, tmp_path / "layout")
+        layout.delete()
+        assert not (tmp_path / "layout").exists()

@@ -20,6 +20,14 @@ files against the committed baselines and exits non-zero when
 * any **parity flag** (``identical_*``) flipped from true to false — a
   bit-identity guarantee breaking is a correctness bug, never noise.
 
+A tracked metric that the baseline has but the fresh run lacks is a failure
+("disappeared") — unless the fresh file *declares* the omission in a
+top-level ``skipped_metrics`` map of flattened key -> human-readable reason
+(e.g. ``{"scan_speedup": "cpu_count=1: ..."}``, written by the shard bench
+on single-core runners where a 4-vs-1 worker ratio is scheduler noise).
+Declared skips are reported as notes and only excuse throughput metrics;
+parity flags can never be skipped.
+
 Latency percentiles, metric values and metadata are compared for reporting
 only.
 
@@ -88,6 +96,15 @@ def _is_parity_key(key: str) -> bool:
     return any(leaf.startswith(prefix) for prefix in PARITY_PREFIXES)
 
 
+def _declared_skips(fresh: Dict[str, Any]) -> Dict[str, str]:
+    """Flattened-key -> reason map the fresh run declared it could not
+    measure meaningfully (``skipped_metrics`` in the JSON payload)."""
+    declared = fresh.get("skipped_metrics")
+    if not isinstance(declared, dict):
+        return {}
+    return {str(key): str(reason) for key, reason in declared.items()}
+
+
 def _load_fresh(name: str) -> Optional[Dict[str, Any]]:
     path = REPO_ROOT / name
     if not path.exists():
@@ -122,11 +139,24 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
     notes: List[str] = []
     baseline_flat = dict(_flatten(baseline))
     fresh_flat = dict(_flatten(fresh))
+    skips = _declared_skips(fresh)
 
     for key, old_value in baseline_flat.items():
+        if key == "skipped_metrics" or key.startswith("skipped_metrics."):
+            continue  # skip declarations are provenance, not metrics
         if key not in fresh_flat:
-            if _is_throughput_key(key) or _is_parity_key(key):
-                failures.append(f"tracked metric {key!r} disappeared")
+            if _is_parity_key(key):
+                # Parity flags are correctness guarantees; a skip
+                # declaration cannot excuse one going missing.
+                failures.append(
+                    f"parity flag {key!r} disappeared "
+                    f"(parity flags cannot be skipped)")
+            elif _is_throughput_key(key):
+                if key in skips:
+                    notes.append(f"tracked metric {key!r} skipped by the "
+                                 f"fresh run: {skips[key]}")
+                else:
+                    failures.append(f"tracked metric {key!r} disappeared")
             continue
         new_value = fresh_flat[key]
         if _is_parity_key(key) and isinstance(old_value, bool):

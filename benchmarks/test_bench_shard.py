@@ -20,8 +20,13 @@ Two halves, one JSON:
 
 The 4-worker-beats-1 assertion only runs on multi-core machines: on a
 single core, four compute-bound workers time-slice one ALU and honestly
-cannot win.  ``cpu_count`` is recorded alongside the numbers so a
-baseline's provenance is visible.
+cannot win.  For the same reason ``scan_speedup`` is *omitted* from the
+JSON on single-core machines — a 4-vs-1 ratio measured there is scheduler
+noise, and committing it would make ``check_regression.py`` gate on noise.
+The omission is declared in a ``skipped_metrics`` map (key -> reason) that
+the gate reports as a note instead of a missing-metric failure, and
+``cpu_count`` is recorded alongside the numbers so a baseline's provenance
+is visible.
 """
 
 from __future__ import annotations
@@ -112,6 +117,25 @@ def _bench_workers(layout, num_workers, num_requests) -> dict:
     }
 
 
+def _speedup_fields(single_rate: float, fanned_rate: float,
+                    cpu_count: int | None) -> dict:
+    """``scan_speedup`` fields, or an explicit skip on single-core machines.
+
+    Four compute-bound workers time-slicing one core measure scheduler
+    noise, not fan-out, so the ratio is only reported where it means
+    something.  The skip is *declared* (not silent) so
+    ``check_regression.py`` surfaces it as a note rather than failing on a
+    disappeared tracked metric.
+    """
+    if (cpu_count or 1) >= 2:
+        return {"scan_speedup": fanned_rate / single_rate}
+    return {"skipped_metrics": {
+        "scan_speedup": (
+            f"cpu_count={cpu_count}: {WORKER_COUNTS[-1]}-vs-1 worker "
+            f"speedup is scheduler noise on a single core"),
+    }}
+
+
 def run_shard_bench(scale: str = "bench") -> dict:
     num_requests = 24 if scale == "full" else 10
     parity = _parity_gate()
@@ -126,15 +150,16 @@ def run_shard_bench(scale: str = "bench") -> dict:
 
     single = scans["workers_1"]["items_scanned_per_s"]
     fanned = scans[f"workers_{WORKER_COUNTS[-1]}"]["items_scanned_per_s"]
-    return {
+    result = {
         "k": K,
         "num_items": MILLION,
         "dim": DIM,
         "cpu_count": os.cpu_count(),
         "parity": parity,
         "scans": scans,
-        "scan_speedup": fanned / single,
     }
+    result.update(_speedup_fields(single, fanned, result["cpu_count"]))
+    return result
 
 
 def test_shard_scatter_gather(benchmark, scale):
@@ -147,8 +172,13 @@ def test_shard_scatter_gather(benchmark, scale):
             f"p50 {entry['scan_p50_ms']:.1f}ms / "
             f"p95 {entry['scan_p95_ms']:.1f}ms)"
         )
-    print(f"{WORKER_COUNTS[-1]}-worker speedup: "
-          f"{result['scan_speedup']:.2f}x on {result['cpu_count']} core(s)")
+    if "scan_speedup" in result:
+        print(f"{WORKER_COUNTS[-1]}-worker speedup: "
+              f"{result['scan_speedup']:.2f}x on {result['cpu_count']} "
+              f"core(s)")
+    else:
+        print("scan_speedup skipped: "
+              + result["skipped_metrics"]["scan_speedup"])
     RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n",
                            encoding="utf-8")
     print(f"wrote {RESULT_PATH}")

@@ -625,6 +625,59 @@ class TestBenchRegressionGate:
         fresh = {"other": 1.0}
         assert self._run(gate, tmp_path, baseline, fresh) == 1
 
+    def test_declared_skip_excuses_missing_throughput_metric(self, gate,
+                                                             tmp_path):
+        """A fresh run may omit a tracked throughput metric it cannot
+        measure meaningfully (scan_speedup on a single-core runner) by
+        declaring it in `skipped_metrics` — reported as a note, not a
+        disappeared-metric failure."""
+        baseline = {"scan_speedup": 1.14, "rate_rps": 10.0}
+        fresh = {"rate_rps": 10.0,
+                 "skipped_metrics": {
+                     "scan_speedup": "cpu_count=1: single-core noise"}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
+    def test_declared_skip_cannot_cover_parity_flags(self, gate, tmp_path):
+        """Parity flags are correctness guarantees — a skip declaration
+        must not excuse one going missing."""
+        baseline = {"identical_topk": True}
+        fresh = {"skipped_metrics": {"identical_topk": "not today"}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_declared_skip_only_excuses_named_keys(self, gate, tmp_path):
+        baseline = {"speedup": 2.0}
+        fresh = {"skipped_metrics": {"other_speedup": "cpu_count=1"}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_shard_bench_declares_single_core_speedup_skip(self):
+        """run_shard_bench must omit scan_speedup on single-core machines
+        (a 4-vs-1 ratio there is scheduler noise, and committing it would
+        make the gate track noise) and declare the skip instead."""
+        import importlib.util
+        import pathlib
+        import sys
+
+        bench_dir = (pathlib.Path(__file__).resolve().parents[1]
+                     / "benchmarks")
+        saved_conftest = sys.modules.pop("conftest", None)
+        sys.path.insert(0, str(bench_dir))
+        try:
+            spec = importlib.util.spec_from_file_location(
+                "bench_shard_module", bench_dir / "test_bench_shard.py")
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+        finally:
+            sys.path.remove(str(bench_dir))
+            sys.modules.pop("conftest", None)
+            if saved_conftest is not None:
+                sys.modules["conftest"] = saved_conftest
+
+        assert module._speedup_fields(10.0, 25.0, 4) == {"scan_speedup": 2.5}
+        for cores in (1, None):
+            fields = module._speedup_fields(10.0, 25.0, cores)
+            assert "scan_speedup" not in fields
+            assert "scan_speedup" in fields["skipped_metrics"]
+
     def test_fails_on_null_tracked_metric(self, gate, tmp_path):
         """A NaN/inf measurement serialises to JSON null; the gate must not
         let a tracked metric silently stop being a number."""

@@ -25,8 +25,23 @@ A tracked metric that the baseline has but the fresh run lacks is a failure
 top-level ``skipped_metrics`` map of flattened key -> human-readable reason
 (e.g. ``{"scan_speedup": "cpu_count=1: ..."}``, written by the shard bench
 on single-core runners where a 4-vs-1 worker ratio is scheduler noise).
-Declared skips are reported as notes and only excuse throughput metrics;
-parity flags can never be skipped.
+Declared skips are reported as notes and only excuse throughput metrics —
+both a metric that *disappeared* and one that is present but regressed
+(single-core runners measure some rates meaningfully enough to record but
+not to gate on); parity flags can never be skipped.
+
+**Repeated-samples mode.**  A benchmark that runs its headline measurement
+several times may record the per-round values in a top-level ``samples``
+map of flattened key -> list (e.g. ``{"sustainable_rps": [190, 205, 198]}``,
+written by the open-loop SLO bench).  When both the baseline and the fresh
+file carry >= 3 samples for a tracked throughput metric, the gate replaces
+the threshold test with a one-sided Mann-Whitney U test (pure-python normal
+approximation with tie and continuity corrections): the metric fails only
+when the fresh samples are *statistically significantly* lower than the
+baseline's at ``--alpha`` (default 0.05).  This is sharper than a fixed
+tolerance — three quiet rounds beat one noisy one — and degrades cleanly:
+when either side lacks samples (older baselines), the threshold test runs
+as before.  The ``samples`` subtree itself is provenance, never compared.
 
 Latency percentiles, metric values and metadata are compared for reporting
 only.
@@ -42,10 +57,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import subprocess
 import sys
+from collections import Counter
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -55,7 +72,11 @@ TRACKED_FILES = (
     "BENCH_serve_latency.json",
     "BENCH_encode.json",
     "BENCH_shard.json",
+    "BENCH_serve_slo.json",
 )
+
+#: fewest per-round samples (each side) for the Mann-Whitney test to run
+MIN_SAMPLES = 3
 
 #: key-name suffixes of *absolute* throughput metrics (hardware-dependent)
 ABSOLUTE_SUFFIXES = ("_rps", "_per_s", "_per_sec", "_per_second")
@@ -96,6 +117,66 @@ def _is_parity_key(key: str) -> bool:
     return any(leaf.startswith(prefix) for prefix in PARITY_PREFIXES)
 
 
+def mann_whitney_drop_pvalue(baseline_samples: Sequence[float],
+                             fresh_samples: Sequence[float]
+                             ) -> Optional[float]:
+    """One-sided Mann-Whitney U p-value for "fresh is stochastically
+    *smaller* than baseline" (i.e. the metric dropped).
+
+    Normal approximation with tie correction and a 0.5 continuity
+    correction — exact enough for the 3-10 samples benches record, and
+    dependency-free.  Returns ``None`` when the variance degenerates
+    (every value tied), which callers must treat as "no evidence of a
+    drop".
+    """
+    n_base = len(baseline_samples)
+    n_fresh = len(fresh_samples)
+    if n_base == 0 or n_fresh == 0:
+        return None
+    # U for the "fresh < baseline" direction; ties split the point.
+    u_statistic = 0.0
+    for fresh_value in fresh_samples:
+        for base_value in baseline_samples:
+            if fresh_value < base_value:
+                u_statistic += 1.0
+            elif fresh_value == base_value:
+                u_statistic += 0.5
+    mean_u = n_base * n_fresh / 2.0
+    total = n_base + n_fresh
+    tie_term = sum(count ** 3 - count
+                   for count in Counter(list(baseline_samples)
+                                        + list(fresh_samples)).values())
+    variance = (n_base * n_fresh / 12.0) * (
+        (total + 1) - tie_term / (total * (total - 1)))
+    if variance <= 0.0:
+        return None
+    z_score = (u_statistic - mean_u - 0.5) / math.sqrt(variance)
+    # P(U >= observed) under H0 — small means the drop is significant.
+    return 0.5 * math.erfc(z_score / math.sqrt(2.0))
+
+
+def _samples_for(payload: Dict[str, Any], key: str) -> Optional[List[float]]:
+    """The per-round sample list a payload recorded for a flattened key,
+    or ``None`` when absent, too short, or not purely numeric."""
+    samples = payload.get("samples")
+    if not isinstance(samples, dict):
+        return None
+    values = samples.get(key)
+    if (not isinstance(values, list) or len(values) < MIN_SAMPLES
+            or not all(isinstance(value, (int, float))
+                       and not isinstance(value, bool) for value in values)):
+        return None
+    return [float(value) for value in values]
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
 def _declared_skips(fresh: Dict[str, Any]) -> Dict[str, str]:
     """Flattened-key -> reason map the fresh run declared it could not
     measure meaningfully (``skipped_metrics`` in the JSON payload)."""
@@ -130,8 +211,8 @@ def _load_baseline(name: str, baseline_dir: Optional[Path],
 
 def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
             tolerance: float,
-            absolute_tolerance: Optional[float] = None
-            ) -> Tuple[List[str], List[str]]:
+            absolute_tolerance: Optional[float] = None,
+            alpha: float = 0.05) -> Tuple[List[str], List[str]]:
     """Return ``(failures, notes)`` for one benchmark file pair."""
     if absolute_tolerance is None:
         absolute_tolerance = tolerance
@@ -144,6 +225,8 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
     for key, old_value in baseline_flat.items():
         if key == "skipped_metrics" or key.startswith("skipped_metrics."):
             continue  # skip declarations are provenance, not metrics
+        if key == "samples" or key.startswith("samples."):
+            continue  # per-round sample lists are provenance, not metrics
         if key not in fresh_flat:
             if _is_parity_key(key):
                 # Parity flags are correctness guarantees; a skip
@@ -183,14 +266,50 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
                     f"tracked metric {key!r} is no longer numeric "
                     f"(got {new_value!r})")
                 continue
+            baseline_samples = _samples_for(baseline, key)
+            fresh_samples = _samples_for(fresh, key)
+            if baseline_samples is not None and fresh_samples is not None:
+                # Both sides recorded per-round samples: significance test
+                # instead of a fixed threshold.
+                p_value = mann_whitney_drop_pvalue(baseline_samples,
+                                                   fresh_samples)
+                dropped = (p_value is not None and p_value < alpha
+                           and _median(fresh_samples)
+                           < _median(baseline_samples))
+                if dropped and key in skips:
+                    notes.append(
+                        f"{key}: significantly below baseline "
+                        f"(p={p_value:.4f}) but declared skipped by the "
+                        f"fresh run: {skips[key]}")
+                elif dropped:
+                    failures.append(
+                        f"{key}: median {_median(fresh_samples):.3f} vs "
+                        f"baseline median {_median(baseline_samples):.3f} "
+                        f"over {len(fresh_samples)}v{len(baseline_samples)} "
+                        f"samples (Mann-Whitney p={p_value:.4f} "
+                        f"< alpha={alpha:g})")
+                else:
+                    detail = ("all samples tied" if p_value is None
+                              else f"p={p_value:.4f}")
+                    notes.append(
+                        f"{key}: median {_median(fresh_samples):.3f} "
+                        f"(baseline median {_median(baseline_samples):.3f}, "
+                        f"{detail}) ok")
+                continue
             allowed = (absolute_tolerance if _is_absolute_key(key)
                        else tolerance)
             floor = old_value * (1.0 - allowed)
             if new_value < floor:
                 drop = 100.0 * (1.0 - new_value / old_value) if old_value else 0.0
-                failures.append(
-                    f"{key}: {new_value:.3f} vs baseline {old_value:.3f} "
-                    f"(-{drop:.1f}%, tolerance {allowed:.0%})")
+                if key in skips:
+                    notes.append(
+                        f"{key}: {new_value:.3f} vs baseline "
+                        f"{old_value:.3f} (-{drop:.1f}%) but declared "
+                        f"skipped by the fresh run: {skips[key]}")
+                else:
+                    failures.append(
+                        f"{key}: {new_value:.3f} vs baseline {old_value:.3f} "
+                        f"(-{drop:.1f}%, tolerance {allowed:.0%})")
             else:
                 notes.append(f"{key}: {new_value:.3f} "
                              f"(baseline {old_value:.3f}) ok")
@@ -207,6 +326,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "metrics — wider, because committed baselines "
                              "carry the baseline machine's speed "
                              "(default 0.35 = 35%%)")
+    parser.add_argument("--alpha", type=float, default=0.05,
+                        help="significance level for the Mann-Whitney test "
+                             "when both sides carry per-round samples "
+                             "(default 0.05)")
     parser.add_argument("--baseline-dir", type=Path, default=None,
                         help="directory with baseline BENCH_*.json files "
                              "(default: read them from `git show REF:`)")
@@ -220,6 +343,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not 0.0 <= args.absolute_tolerance < 1.0:
         parser.error(f"--absolute-tolerance must be in [0, 1), "
                      f"got {args.absolute_tolerance}")
+    if not 0.0 < args.alpha < 1.0:
+        parser.error(f"--alpha must be in (0, 1), got {args.alpha}")
 
     exit_code = 0
     checked = 0
@@ -236,7 +361,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             exit_code = 1
             continue
         failures, notes = compare(baseline, fresh, args.tolerance,
-                                  args.absolute_tolerance)
+                                  args.absolute_tolerance, alpha=args.alpha)
         checked += 1
         for note in notes:
             print(f"[check_regression] {name}: {note}")

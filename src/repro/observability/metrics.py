@@ -1,0 +1,436 @@
+"""Dependency-free metrics core: counters, gauges, histograms, Prometheus text.
+
+Every serving layer measures itself with ad-hoc timers (``queue_ms`` in the
+batcher, ``encode_ms`` in the inference engine, scatter/gather timings in the
+shard pool); this module is where those numbers *aggregate*.  It implements
+the minimal subset of the Prometheus data model the service needs — labeled
+counter / gauge / histogram families behind one :class:`MetricsRegistry` —
+with no third-party client library:
+
+* **Counters** only go up (a negative increment raises).
+* **Gauges** are set/inc/dec and support :meth:`Gauge.clear` so scrape-time
+  collectors can rebuild their label sets from live state (a retired
+  deployment's series simply stops being emitted).
+* **Histograms** keep fixed cumulative buckets (rendered as ``_bucket``
+  series with ``le`` labels, plus ``_sum`` and ``_count``) *and* a bounded
+  rolling window of raw observations, from which :meth:`Histogram.quantile`
+  estimates p50/p95/p99 without the bucket-resolution loss.
+
+Thread-safety: every mutation and every render/snapshot of a family happens
+under that family's lock, so concurrent scrapes racing live traffic (and
+hot-swap ``reload`` calls) can never observe torn state — a scrape sees each
+family at one consistent instant.
+
+The text format follows the Prometheus exposition format v0.0.4: ``# HELP`` /
+``# TYPE`` comments per family, one ``name{label="value"} number`` line per
+series, label values escaped (backslash, double-quote, newline).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default milliseconds buckets for request/stage latency histograms
+LATENCY_BUCKETS_MS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                      100.0, 250.0, 500.0, 1000.0, 2500.0)
+
+#: default buckets for batch-size histograms
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (``\\``, ``"``, LF)."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_number(value: float) -> str:
+    """Render a sample value the way Prometheus expects (+Inf/-Inf/NaN)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of ``samples`` (``q`` in [0, 1]).
+
+    Pure-python (the metrics core must not depend on numpy); returns ``nan``
+    on an empty sequence.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    if not ordered:
+        return float("nan")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return float(ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction)
+
+
+class Counter:
+    """One monotonically increasing series (a child of a counter family)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters can only increase, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """One settable series (a child of a gauge family)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """One histogram series: cumulative fixed buckets + a rolling window.
+
+    The buckets serve the Prometheus exposition (``_bucket{le=...}`` series
+    are cumulative, ``+Inf`` equals ``_count``); the bounded window of raw
+    observations serves :meth:`quantile` — accurate recent percentiles
+    without bucket-resolution loss, at O(window) memory.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_window", "_lock")
+
+    def __init__(self, buckets: Sequence[float], window: int,
+                 lock: threading.Lock):
+        self.buckets = tuple(float(bound) for bound in buckets)
+        self._counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+        self._window: Optional[Deque[float]] = (
+            deque(maxlen=window) if window > 0 else None)
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            position = bisect_left(self.buckets, value)
+            if position < len(self._counts):
+                self._counts[position] += 1
+            self._sum += value
+            self._count += 1
+            if self._window is not None:
+                self._window.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Rolling-window quantile (``nan`` with no observations/window)."""
+        with self._lock:
+            samples = list(self._window) if self._window is not None else []
+        return quantile(samples, q)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            sum_ = self._sum
+            samples = list(self._window) if self._window is not None else []
+        entry: Dict[str, Any] = {"count": total, "sum": round(sum_, 6)}
+        if samples:
+            entry["p50"] = round(quantile(samples, 0.50), 6)
+            entry["p95"] = round(quantile(samples, 0.95), 6)
+            entry["p99"] = round(quantile(samples, 0.99), 6)
+        entry["buckets"] = {
+            _format_number(bound): count
+            for bound, count in zip(self.buckets, counts)
+        }
+        return entry
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+
+class MetricFamily:
+    """A named metric with a fixed label schema and one child per label set.
+
+    Children are created on first use (:meth:`labels`) and live until
+    :meth:`remove` / :meth:`clear`.  A family with no label names holds a
+    single anonymous child that the family itself proxies to, so
+    ``registry.counter("x", "...").inc()`` works without ``labels()``.
+    """
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = LATENCY_BUCKETS_MS,
+                 window: int = 0):
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets)
+        self._window = int(window)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return Counter(self._lock)
+        if self.kind == "gauge":
+            return Gauge(self._lock)
+        return Histogram(self._buckets, self._window, self._lock)
+
+    def labels(self, **labels: str):
+        """The child series for one label-value assignment (created lazily)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"({', '.join(self.labelnames)}), got "
+                f"({', '.join(sorted(labels))})")
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def remove(self, **labels: str) -> int:
+        """Drop every child whose label values match ``labels`` (a subset of
+        the schema); returns how many series were removed."""
+        positions = []
+        for name, value in labels.items():
+            if name not in self.labelnames:
+                return 0
+            positions.append((self.labelnames.index(name), str(value)))
+        with self._lock:
+            doomed = [key for key in self._children
+                      if all(key[position] == value
+                             for position, value in positions)]
+            for key in doomed:
+                del self._children[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every child (scrape-time collectors rebuild from live state)."""
+        with self._lock:
+            self._children.clear()
+            if not self.labelnames:
+                self._children[()] = self._make_child()
+
+    # -- proxies for label-less families ------------------------------- #
+    def _anonymous(self):
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} has labels "
+                f"({', '.join(self.labelnames)}); call .labels() first")
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._anonymous().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._anonymous().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._anonymous().set(value)
+
+    def observe(self, value: float) -> None:
+        self._anonymous().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._anonymous().value
+
+    # -- rendering ------------------------------------------------------ #
+    def _label_text(self, key: Tuple[str, ...],
+                    extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+        pairs = [(name, value) for name, value in zip(self.labelnames, key)]
+        pairs.extend(extra)
+        if not pairs:
+            return ""
+        inner = ",".join(f'{name}="{escape_label_value(value)}"'
+                         for name, value in pairs)
+        return "{" + inner + "}"
+
+    def render(self) -> List[str]:
+        """Exposition-format lines for this family (HELP, TYPE, series)."""
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            children = sorted(self._children.items())
+        for key, child in children:
+            if self.kind in ("counter", "gauge"):
+                lines.append(f"{self.name}{self._label_text(key)} "
+                             f"{_format_number(child.value)}")
+                continue
+            # Histogram: cumulative buckets, +Inf, then _sum and _count.
+            with self._lock:
+                counts = list(child._counts)
+                total = child._count
+                sum_ = child._sum
+            cumulative = 0
+            for bound, count in zip(child.buckets, counts):
+                cumulative += count
+                text = self._label_text(key, (("le", _format_number(bound)),))
+                lines.append(f"{self.name}_bucket{text} {cumulative}")
+            text = self._label_text(key, (("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{text} {total}")
+            lines.append(f"{self.name}_sum{self._label_text(key)} "
+                         f"{_format_number(sum_)}")
+            lines.append(f"{self.name}_count{self._label_text(key)} {total}")
+        return lines
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable view (histograms include window percentiles)."""
+        with self._lock:
+            children = sorted(self._children.items())
+        series = []
+        for key, child in children:
+            entry: Dict[str, Any] = {
+                "labels": dict(zip(self.labelnames, key))}
+            if self.kind in ("counter", "gauge"):
+                entry["value"] = child.value
+            else:
+                entry.update(child.snapshot())
+            series.append(entry)
+        return {"type": self.kind, "help": self.help, "series": series}
+
+
+class MetricsRegistry:
+    """A process-local collection of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking twice
+    for the same name returns the same family (asking with a conflicting
+    type or label schema raises — a name means one thing).  :meth:`render`
+    produces the full Prometheus text exposition; :meth:`snapshot` the
+    JSON-friendly equivalent the JSONL ``stats`` command embeds.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _get_or_create(self, name: str, help_text: str, kind: str,
+                       labelnames: Sequence[str],
+                       buckets: Sequence[float] = LATENCY_BUCKETS_MS,
+                       window: int = 0) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, help_text, kind, labelnames,
+                                      buckets=buckets, window=window)
+                self._families[name] = family
+                return family
+        if family.kind != kind or family.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered as a {family.kind} "
+                f"with labels ({', '.join(family.labelnames)})")
+        return family
+
+    def counter(self, name: str, help_text: str,
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._get_or_create(name, help_text, "counter", labelnames)
+
+    def gauge(self, name: str, help_text: str,
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._get_or_create(name, help_text, "gauge", labelnames)
+
+    def histogram(self, name: str, help_text: str,
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = LATENCY_BUCKETS_MS,
+                  window: int = 1024) -> MetricFamily:
+        return self._get_or_create(name, help_text, "histogram", labelnames,
+                                   buckets=buckets, window=window)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def remove_series(self, **labels: str) -> int:
+        """Drop every series (across all families) matching ``labels``.
+
+        Families whose schema lacks a given label name are untouched.  Used
+        when a deployment is retired: its per-deployment series must stop
+        being emitted.  Returns the number of series removed.
+        """
+        with self._lock:
+            families = list(self._families.values())
+        return sum(family.remove(**labels) for family in families)
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format v0.0.4."""
+        with self._lock:
+            families = sorted(self._families.items())
+        lines: List[str] = []
+        for _, family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            families = sorted(self._families.items())
+        return {name: family.snapshot() for name, family in families}
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._families
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._families)

@@ -17,18 +17,23 @@ This package is the production-shaped front door to the serving stack
 * :mod:`~repro.service.service` — :class:`RecommenderService`, the facade
   tying registry + batchers + envelopes together;
 * :mod:`~repro.service.server` — the persistent JSONL-over-stdio and HTTP
-  front-ends behind ``repro serve --loop`` / ``--http``.
+  front-ends behind ``repro serve --loop`` / ``--http``, including
+  ``GET /metrics`` (Prometheus text exposition from the service's
+  :class:`~repro.observability.MetricsRegistry`).
 
 The paper-exact scoring paths are untouched: every request ultimately runs
 through ``Recommender.topk``, which the serving tests hold bit-identical to
-the full-sort reference.
+the full-sort reference; instrumentation is timer reads around stages,
+never code inside the scoring loops.
 """
 
+from ..observability import MetricsRegistry, RequestTrace
 from ..serving import ServingConfig
 from .batcher import BatchedResult, BatcherStats, DynamicBatcher
 from .envelopes import RecommendRequest, RecommendResponse, RequestError
 from .registry import Deployment, ModelRegistry
-from .server import ServiceHTTPServer, serve_http, serve_jsonl
+from .server import (METRICS_CONTENT_TYPE, ServiceHTTPServer, serve_http,
+                     serve_jsonl)
 from .service import RecommenderService
 
 __all__ = [
@@ -36,11 +41,14 @@ __all__ = [
     "BatcherStats",
     "Deployment",
     "DynamicBatcher",
+    "METRICS_CONTENT_TYPE",
+    "MetricsRegistry",
     "ModelRegistry",
     "RecommendRequest",
     "RecommendResponse",
     "RecommenderService",
     "RequestError",
+    "RequestTrace",
     "ServiceHTTPServer",
     "ServingConfig",
     "serve_http",

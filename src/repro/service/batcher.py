@@ -24,7 +24,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,6 +52,10 @@ class BatchedResult:
     batch_size: int
     engine: str = "graph"
     encode_ms: float = 0.0
+    #: scoring / top-K-merge portions of ``compute_ms`` (per call, not per
+    #: row) — the ``score`` and ``merge`` stages of the request lifecycle.
+    score_ms: float = 0.0
+    merge_ms: float = 0.0
 
 
 @dataclass
@@ -85,12 +89,19 @@ class BatcherStats:
 
 @dataclass
 class _Pending:
-    """One queued request: its history, resolved policy, and delivery future."""
+    """One queued request: its history, resolved policy, and delivery future.
+
+    ``enqueued_at`` is captured explicitly at the top of
+    :meth:`DynamicBatcher.submit` — not via a dataclass field default — so
+    queue-time attribution starts when the caller handed the request over,
+    and can never be skewed by whatever work happens to run between
+    construction-time default evaluation and the actual enqueue.
+    """
 
     sequence: Sequence[int]
     config: ServingConfig
     future: "Future[BatchedResult]"
-    enqueued_at: float = field(default_factory=time.perf_counter)
+    enqueued_at: float
 
 
 class DynamicBatcher:
@@ -184,13 +195,14 @@ class DynamicBatcher:
         """Enqueue one request; returns a future resolving to
         :class:`BatchedResult`.  Overrides are validated here, in the caller's
         thread, so a bad request can never poison a shared batch."""
+        enqueued_at = time.perf_counter()
         config = self.config.with_overrides(k=k, exclude_seen=exclude_seen,
                                             backend=backend)
         future: "Future[BatchedResult]" = Future()
         with self._wake:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed batcher")
-            self._queue.append(_Pending(sequence, config, future))
+            self._queue.append(_Pending(sequence, config, future, enqueued_at))
             self._stats.submitted += 1
             # Wake the worker only when its state changes: the first arrival
             # opens a tick, a full batch ends the wait window early.  Waking
@@ -307,6 +319,8 @@ class DynamicBatcher:
                     batch_size=len(members),
                     engine=result.engine,
                     encode_ms=result.encode_ms,
+                    score_ms=result.score_ms,
+                    merge_ms=result.merge_ms,
                 ))
 
         with self._wake:

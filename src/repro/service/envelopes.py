@@ -132,6 +132,12 @@ class RecommendResponse:
     and its ``encode_ms`` cost, how long the request waited for its batch
     (``queue_ms``), how long the scoring took (``compute_ms``), and how many
     requests shared that scoring call (``batch_size``).
+
+    ``stages_ms`` is the unified per-request lifecycle breakdown
+    (``validate -> queue -> encode -> score -> merge -> respond`` plus
+    ``total``, see :mod:`repro.observability.tracing`) — the same schema
+    for the batched, unbatched, sharded and ANN paths.  It is empty when
+    the service runs with instrumentation disabled (``metrics=False``).
     """
 
     items: List[int]
@@ -146,6 +152,7 @@ class RecommendResponse:
     batch_size: int
     engine: str = "graph"
     encode_ms: float = 0.0
+    stages_ms: Dict[str, float] = field(default_factory=dict)
     request_id: Optional[str] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
@@ -165,6 +172,9 @@ class RecommendResponse:
             "engine": self.engine,
             "encode_ms": round(float(self.encode_ms), 3),
         }
+        if self.stages_ms:
+            payload["stages_ms"] = {name: round(float(value), 3)
+                                    for name, value in self.stages_ms.items()}
         if self.request_id is not None:
             payload["request_id"] = self.request_id
         if self.extra:

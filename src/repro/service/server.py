@@ -5,22 +5,28 @@ Two transports, one protocol:
 * **JSONL over stdio** — one JSON object per line in, one per line out.
   A line is either a recommendation request (see
   :class:`~repro.service.envelopes.RecommendRequest`) or a control command
-  ``{"cmd": "stats" | "deployments" | "shutdown"}``.  Malformed lines get an
-  ``{"error": ...}`` line back and the loop keeps serving; EOF or
-  ``shutdown`` drains the batchers and exits cleanly.  This is what
-  ``repro serve --loop`` runs.
+  ``{"cmd": "stats" | "deployments" | "metrics" | "shutdown"}`` (``stats``
+  embeds the metrics-registry snapshot; ``metrics`` returns it alone).
+  Malformed lines get an ``{"error": ...}`` line back and the loop keeps
+  serving; EOF or ``shutdown`` drains the batchers and exits cleanly.  This
+  is what ``repro serve --loop`` runs.
 * **HTTP** — a :mod:`http.server`-based threaded server (no third-party web
   framework): ``POST /recommend`` (single request object or
   ``{"requests": [...]}`` for a coalesced burst), ``GET /stats``,
-  ``GET /deployments``.  This is what ``repro serve --http PORT`` runs.
-  The threaded server is what gives the dynamic batcher concurrent callers
-  to coalesce.
+  ``GET /deployments``, ``GET /metrics`` (Prometheus text exposition) and
+  ``GET /healthz`` (uptime + per-deployment name/version, so orchestrators
+  can see a hot-swap complete).  This is what ``repro serve --http PORT``
+  runs.  The threaded server is what gives the dynamic batcher concurrent
+  callers to coalesce.  With ``verbose`` a structured access log (one JSON
+  object per request: method, path, status, duration) goes to *stderr* —
+  stdout stays protocol-pure, mirroring the ``--loop`` contract.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, TextIO
 
@@ -28,7 +34,10 @@ from .envelopes import RequestError
 from .service import RecommenderService
 
 #: control verbs understood by the JSONL loop
-JSONL_COMMANDS = ("stats", "deployments", "shutdown")
+JSONL_COMMANDS = ("stats", "deployments", "metrics", "shutdown")
+
+#: Content-Type of the Prometheus text exposition format
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def _handle_command(service: RecommenderService, command: str) -> Dict[str, Any]:
@@ -36,6 +45,8 @@ def _handle_command(service: RecommenderService, command: str) -> Dict[str, Any]
         return {"stats": service.stats()}
     if command == "deployments":
         return {"deployments": service.registry.describe()}
+    if command == "metrics":
+        return {"metrics": service.metrics_snapshot()}
     raise RequestError(
         f"unknown command {command!r} (expected one of {', '.join(JSONL_COMMANDS)})"
     )
@@ -97,16 +108,41 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
     # Plumbing
     # ------------------------------------------------------------------ #
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if self.server.verbose:
-            super().log_message(format, *args)
+        # The stdlib's free-form log lines are replaced by the structured
+        # access log below (one JSON object per request, stderr only).
+        pass
 
-    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _access_log(self, status: int) -> None:
+        """One structured access-log line to stderr (never stdout — the
+        JSONL protocol channel must stay pure)."""
+        if not self.server.verbose:
+            return
+        started = getattr(self, "_request_started", None)
+        duration_ms = ((time.perf_counter() - started) * 1000.0
+                       if started is not None else 0.0)
+        entry = {
+            "method": self.command,
+            "path": self.path,
+            "status": int(status),
+            "duration_ms": round(duration_ms, 3),
+        }
+        print(json.dumps(entry, sort_keys=True), file=sys.stderr, flush=True)
+
+    def _send_body(self, body: bytes, content_type: str, status: int) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self._access_log(status)
+
+    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+        self._send_body(json.dumps(payload).encode("utf-8"),
+                        "application/json", status)
+
+    def _send_text(self, text: str, content_type: str,
+                   status: int = 200) -> None:
+        self._send_body(text.encode("utf-8"), content_type, status)
 
     def _read_json(self) -> Any:
         length = int(self.headers.get("Content-Length", 0))
@@ -121,18 +157,37 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._request_started = time.perf_counter()
         service = self.server.service
         if self.path == "/stats":
             self._send_json(service.stats())
         elif self.path == "/deployments":
             self._send_json({"deployments": service.registry.describe()})
+        elif self.path == "/metrics":
+            text = service.render_metrics()
+            if text is None:
+                self._send_json({"error": "metrics are disabled on this "
+                                          "service (metrics=False)"},
+                                status=404)
+            else:
+                self._send_text(text, METRICS_CONTENT_TYPE)
         elif self.path in ("/", "/healthz"):
-            self._send_json({"ok": True,
-                             "deployments": len(service.registry)})
+            # `ok` and the deployment *count* are the PR-4 contract keys;
+            # name/version/uptime let an orchestrator watch a hot-swap land.
+            self._send_json({
+                "ok": True,
+                "deployments": len(service.registry),
+                "uptime_s": service.uptime_s,
+                "deployment_versions": [
+                    {"name": deployment.name, "version": deployment.version}
+                    for deployment in service.registry.list()
+                ],
+            })
         else:
             self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._request_started = time.perf_counter()
         if self.path != "/recommend":
             self._send_json({"error": f"unknown path {self.path!r}"}, status=404)
             return
@@ -171,8 +226,12 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
 
 def serve_http(service: RecommenderService, port: int,
-               host: str = "127.0.0.1", verbose: bool = True) -> int:
-    """Run the HTTP front-end until interrupted; drains batchers on exit."""
+               host: str = "127.0.0.1", verbose: bool = False) -> int:
+    """Run the HTTP front-end until interrupted; drains batchers on exit.
+
+    ``verbose`` turns on the structured access log (one JSON object per
+    request to stderr: method, path, status, duration_ms).
+    """
     server = ServiceHTTPServer(service, host=host, port=port, verbose=verbose)
     try:
         server.serve_forever()

@@ -14,9 +14,15 @@ import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..observability.metrics import (BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_MS,
+                                     MetricsRegistry)
+from ..observability.tracing import RequestTrace
 from .batcher import BatchedResult, DynamicBatcher
 from .envelopes import RecommendRequest, RecommendResponse, RequestError
 from .registry import Deployment, ModelRegistry
+
+#: lifecycle stages recorded into the per-stage latency histogram
+_OBSERVED_STAGES = ("queue", "encode", "score", "merge")
 
 
 class RecommenderService:
@@ -36,11 +42,22 @@ class RecommenderService:
     autostart_batchers:
         ``False`` creates batchers in manual mode (no worker thread); tests
         drive them deterministically via :meth:`flush`.
+    metrics:
+        Observability wiring.  ``None`` (the default) instruments the
+        service into a fresh private
+        :class:`~repro.observability.MetricsRegistry`; pass an existing
+        registry to share one across services, or ``False`` to disable
+        instrumentation entirely (no per-request trace, no stage breakdown
+        in responses — the un-instrumented baseline the overhead benchmark
+        measures against).  Instrumentation is event-level only (timer
+        reads around whole requests and stages), never inside the scoring
+        hot loops, so the bit-identity of served results is untouched.
     """
 
     def __init__(self, registry: Optional[ModelRegistry] = None,
                  batching: bool = True, max_batch_size: int = 64,
-                 max_wait_ms: float = 2.0, autostart_batchers: bool = True):
+                 max_wait_ms: float = 2.0, autostart_batchers: bool = True,
+                 metrics: Union[MetricsRegistry, None, bool] = None):
         self.registry = registry if registry is not None else ModelRegistry()
         self.batching = batching
         self.max_batch_size = max_batch_size
@@ -56,6 +73,65 @@ class RecommenderService:
         self._request_errors = 0
         self._started_at = time.perf_counter()
         self._closed = False
+        if metrics is False:
+            self.metrics: Optional[MetricsRegistry] = None
+        elif metrics is None or metrics is True:
+            self.metrics = MetricsRegistry()
+        else:
+            self.metrics = metrics
+        if self.metrics is not None:
+            self._register_metrics(self.metrics)
+
+    def _register_metrics(self, registry: MetricsRegistry) -> None:
+        """Create (or adopt) the service's metric families.
+
+        Event metrics (counters / histograms) are updated on the request
+        path; the gauges are *scrape-time collectors* — rebuilt from live
+        state by :meth:`collect_metrics`, so their label sets always mirror
+        the current deployments and batchers (a retired deployment's series
+        simply stops being emitted).
+        """
+        self._m_requests = registry.counter(
+            "repro_requests_total", "Requests served, by deployment and "
+            "status (ok / error).", labelnames=("deployment", "status"))
+        self._m_latency = registry.histogram(
+            "repro_request_latency_ms", "End-to-end request latency in "
+            "milliseconds (validate to respond).",
+            labelnames=("deployment",), buckets=LATENCY_BUCKETS_MS)
+        self._m_stage = registry.histogram(
+            "repro_stage_latency_ms", "Per-stage request latency in "
+            "milliseconds (queue / encode / score / merge).",
+            labelnames=("deployment", "stage"), buckets=LATENCY_BUCKETS_MS)
+        self._m_batch_size = registry.histogram(
+            "repro_batch_size", "Requests coalesced into the scoring call "
+            "that served each request.",
+            labelnames=("deployment",), buckets=BATCH_SIZE_BUCKETS)
+        self._g_uptime = registry.gauge(
+            "repro_uptime_seconds", "Seconds since the service started.")
+        self._g_deployments = registry.gauge(
+            "repro_deployments", "Registered deployments.")
+        self._g_version = registry.gauge(
+            "repro_deployment_version", "Current version of each deployment "
+            "(bumps on hot-swap reload).", labelnames=("deployment",))
+        self._g_cache_hit = registry.gauge(
+            "repro_session_cache_hit_rate", "SessionCache hit rate of the "
+            "deployment's compiled engine (exact + prefix hits over "
+            "lookups).", labelnames=("deployment",))
+        self._g_shard_restarts = registry.gauge(
+            "repro_shard_restarts", "Shard-pool worker restarts since the "
+            "pool was built.", labelnames=("deployment",))
+        self._g_shard_timeouts = registry.gauge(
+            "repro_shard_timeouts", "Shard searches that exceeded the "
+            "pool's per-request timeout.", labelnames=("deployment",))
+        self._g_batcher = registry.gauge(
+            "repro_batcher_requests", "Per-batcher request counters, by "
+            "deployment, version and counter name.",
+            labelnames=("deployment", "version", "counter"))
+        # Hot-path handle cache: labels() is a validating get-or-create
+        # (sorting, schema check, lock) — ~5x the cost of the update it
+        # guards.  One resolved bundle per deployment keeps the per-request
+        # metrics work to plain inc/observe calls.  Invalidated on retire.
+        self._metric_handles: Dict[str, Tuple[Any, ...]] = {}
 
     # ------------------------------------------------------------------ #
     # Deployment management (thin registry pass-throughs)
@@ -65,9 +141,13 @@ class RecommenderService:
         return self.registry.register(deployment, default=default)
 
     def retire(self, name: str) -> Deployment:
-        """Stop serving a deployment; its batcher is drained and closed."""
+        """Stop serving a deployment; its batcher is drained and closed, and
+        its per-deployment metric series stop being emitted."""
         deployment = self.registry.retire(name)
         self._drop_batcher(deployment.name, deployment.version)
+        if self.metrics is not None:
+            self._metric_handles.pop(name, None)
+            self.metrics.remove_series(deployment=name)
         return deployment
 
     def reload(self, name: str, checkpoint_path: Optional[str] = None,
@@ -117,7 +197,20 @@ class RecommenderService:
     def recommend(self, request: Union[RecommendRequest, Dict[str, Any]],
                   timeout: Optional[float] = None) -> RecommendResponse:
         """Serve one request (blocking until its batch is scored)."""
-        return self._serve(self._coerce(request), timeout)
+        trace = self._open_trace()
+        if trace is None:
+            return self._serve(self._coerce(request), timeout)
+        coerced = self._coerce(request)
+        # validate is the first stage, so elapsed-since-open IS its duration
+        # (cheaper than a context manager on the per-request path).
+        trace.record("validate", trace.elapsed_ms())
+        return self._serve(coerced, timeout, trace)
+
+    def _open_trace(self) -> Optional[RequestTrace]:
+        """A fresh per-request trace, or ``None`` when instrumentation is
+        off (``metrics=False``) — the un-instrumented path then skips every
+        stage timer and metric observation."""
+        return RequestTrace() if self.metrics is not None else None
 
     def recommend_many(self, requests: Sequence[Union[RecommendRequest,
                                                       Dict[str, Any]]],
@@ -131,33 +224,45 @@ class RecommenderService:
         front, so a bad entry can never leave earlier entries' futures
         abandoned mid-batch (their scoring running with nobody waiting).
         """
-        coerced = [self._coerce(request) for request in requests]
+        coerced = []
+        traces: List[Optional[RequestTrace]] = []
+        for request in requests:
+            trace = self._open_trace()
+            if trace is None:
+                coerced.append(self._coerce(request))
+            else:
+                coerced.append(self._coerce(request))
+                # first stage: elapsed-since-open is the validate duration
+                trace.record("validate", trace.elapsed_ms())
+            traces.append(trace)
         resolved = []
-        for request in coerced:
+        for request, trace in zip(coerced, traces):
             deployment = self._resolve(request)
             try:
                 deployment.config.with_overrides(
                     k=request.k, exclude_seen=request.exclude_seen,
                     backend=request.backend, score_dtype=request.score_dtype)
             except (ValueError, TypeError) as error:
-                self._count_error()
+                self._count_error(deployment.name)
                 raise RequestError(str(error)) from None
-            resolved.append((request, deployment))
+            resolved.append((request, deployment, trace))
         if not self.batching:
-            return [self._serve(request, timeout) for request in coerced]
+            return [self._serve_resolved(request, deployment, timeout, trace)
+                    for request, deployment, trace in resolved]
         submitted = []
-        for request, deployment in resolved:
+        for request, deployment, trace in resolved:
             future = None
             if request.score_dtype is None:
                 future = self._submit(request, deployment)
-            submitted.append((request, deployment, future))
+            submitted.append((request, deployment, trace, future))
         responses = []
-        for request, deployment, future in submitted:
+        for request, deployment, trace, future in submitted:
             if future is None:
-                responses.append(self._serve_direct(request, deployment))
+                responses.append(self._serve_direct(request, deployment,
+                                                    trace))
             else:
                 responses.append(self._to_response(
-                    request, deployment, future.result(timeout)))
+                    request, deployment, future.result(timeout), trace))
         return responses
 
     def _coerce(self, request: Union[RecommendRequest, Dict[str, Any]]
@@ -195,20 +300,29 @@ class RecommenderService:
         except RuntimeError:  # closed by a concurrent reload/retire
             return None
 
-    def _serve(self, request: RecommendRequest,
-               timeout: Optional[float]) -> RecommendResponse:
+    def _serve(self, request: RecommendRequest, timeout: Optional[float],
+               trace: Optional[RequestTrace] = None) -> RecommendResponse:
         deployment = self._resolve(request)
+        return self._serve_resolved(request, deployment, timeout, trace)
+
+    def _serve_resolved(self, request: RecommendRequest,
+                        deployment: Deployment, timeout: Optional[float],
+                        trace: Optional[RequestTrace] = None
+                        ) -> RecommendResponse:
         if not self.batching or request.score_dtype is not None:
             # dtype-overridden requests score through a per-dtype sibling
             # recommender; they cannot share the default-dtype batch.
-            return self._serve_direct(request, deployment)
+            return self._serve_direct(request, deployment, trace)
         future = self._submit(request, deployment)
         if future is None:
-            return self._serve_direct(request, deployment)
-        return self._to_response(request, deployment, future.result(timeout))
+            return self._serve_direct(request, deployment, trace)
+        return self._to_response(request, deployment, future.result(timeout),
+                                 trace)
 
     def _serve_direct(self, request: RecommendRequest,
-                      deployment: Deployment) -> RecommendResponse:
+                      deployment: Deployment,
+                      trace: Optional[RequestTrace] = None
+                      ) -> RecommendResponse:
         """Unbatched path: one topk call for this request alone."""
         try:
             recommender = deployment.recommender_for(request.score_dtype)
@@ -220,7 +334,7 @@ class RecommenderService:
             started = time.perf_counter()
             result = recommender.topk([request.history], config=config)
         except (ValueError, TypeError) as error:
-            self._count_error()
+            self._count_error(deployment.name)
             raise RequestError(str(error)) from None
         compute_ms = (time.perf_counter() - started) * 1000.0
         batched = BatchedResult(
@@ -228,13 +342,27 @@ class RecommenderService:
             cold=bool(result.cold[0]), backend=config.backend,
             queue_ms=0.0, compute_ms=compute_ms, batch_size=1,
             engine=result.engine, encode_ms=result.encode_ms,
+            score_ms=result.score_ms, merge_ms=result.merge_ms,
         )
-        return self._to_response(request, deployment, batched)
+        return self._to_response(request, deployment, batched, trace)
 
     def _to_response(self, request: RecommendRequest, deployment: Deployment,
-                     result: BatchedResult) -> RecommendResponse:
+                     result: BatchedResult,
+                     trace: Optional[RequestTrace] = None
+                     ) -> RecommendResponse:
         with self._lock:
             self._requests_served += 1
+        stages: Dict[str, float] = {}
+        if trace is not None:
+            # Stages that ran on another thread (the batcher worker) report
+            # durations the trace records post-hoc; finish() attributes the
+            # unaccounted remainder (dispatch, future hand-off, response
+            # assembly) to the respond stage.
+            stages = trace.finish(queue=result.queue_ms,
+                                  encode=result.encode_ms,
+                                  score=result.score_ms,
+                                  merge=result.merge_ms)
+            self._observe_request(deployment.name, result, stages)
         return RecommendResponse(
             items=[int(item) for item in result.items],
             scores=[float(score) for score in result.scores],
@@ -248,12 +376,47 @@ class RecommenderService:
             batch_size=result.batch_size,
             engine=result.engine,
             encode_ms=result.encode_ms,
+            stages_ms=stages,
             request_id=request.request_id,
         )
 
-    def _count_error(self) -> None:
+    def _handles_for(self, deployment: str) -> Tuple[Any, ...]:
+        handles = self._metric_handles.get(deployment)
+        if handles is None:
+            handles = (
+                self._m_requests.labels(deployment=deployment, status="ok"),
+                self._m_latency.labels(deployment=deployment),
+            ) + tuple(
+                self._m_stage.labels(deployment=deployment, stage=stage)
+                for stage in _OBSERVED_STAGES
+            ) + (self._m_batch_size.labels(deployment=deployment),)
+            self._metric_handles[deployment] = handles
+        return handles
+
+    def _observe_request(self, deployment: str, result: BatchedResult,
+                         stages: Dict[str, float]) -> None:
+        """Record one served request into the metrics registry.
+
+        ``stages`` comes straight from ``trace.finish(...)`` on this path,
+        so the indexed keys are guaranteed present (unrolled direct access
+        — this runs once per request).
+        """
+        (ok_counter, latency, stage_queue, stage_encode, stage_score,
+         stage_merge, batch_size) = self._handles_for(deployment)
+        ok_counter.inc()
+        latency.observe(stages["total"])
+        stage_queue.observe(stages["queue"])
+        stage_encode.observe(stages["encode"])
+        stage_score.observe(stages["score"])
+        stage_merge.observe(stages["merge"])
+        batch_size.observe(result.batch_size)
+
+    def _count_error(self, deployment: Optional[str] = None) -> None:
         with self._lock:
             self._request_errors += 1
+        if self.metrics is not None:
+            self._m_requests.labels(deployment=deployment or "unknown",
+                                    status="error").inc()
 
     # ------------------------------------------------------------------ #
     # Introspection & lifecycle
@@ -264,15 +427,80 @@ class RecommenderService:
             batchers = list(self._batchers.values())
         return sum(batcher.flush() for batcher in batchers)
 
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since the service started (monotonic)."""
+        return round(time.perf_counter() - self._started_at, 3)
+
+    def collect_metrics(self) -> None:
+        """Refresh the scrape-time gauges from live state.
+
+        Event metrics (request counters, latency histograms) update on the
+        request path; everything whose truth lives elsewhere — uptime,
+        deployment versions, session-cache hit rates, shard-pool health,
+        batcher counters — is *collected* here, at scrape time.  Each gauge
+        family is cleared and rebuilt, so retired deployments and drained
+        batchers drop out of the exposition automatically.  Reads only
+        never-building accessors (``engine_stats`` / ``shard_stats``), so a
+        scrape can never trigger a compile or spawn a worker pool.
+        """
+        if self.metrics is None:
+            return
+        self._g_uptime.set(self.uptime_s)
+        self._g_deployments.set(len(self.registry))
+        for family in (self._g_version, self._g_cache_hit,
+                       self._g_shard_restarts, self._g_shard_timeouts,
+                       self._g_batcher):
+            family.clear()
+        for deployment in self.registry.list():
+            name = deployment.name
+            self._g_version.labels(deployment=name).set(deployment.version)
+            engine_stats = deployment.recommender.engine_stats()
+            cache = engine_stats.get("session_cache")
+            if isinstance(cache, dict) and cache.get("enabled"):
+                self._g_cache_hit.labels(deployment=name).set(
+                    float(cache.get("hit_rate", 0.0)))
+            shard = deployment.recommender.shard_stats()
+            if isinstance(shard, dict):
+                self._g_shard_restarts.labels(deployment=name).set(
+                    float(shard.get("restarts", 0)))
+                self._g_shard_timeouts.labels(deployment=name).set(
+                    float(shard.get("timeouts", 0)))
+        with self._lock:
+            batchers = dict(self._batchers)
+        for (name, version), batcher in batchers.items():
+            counters = batcher.stats().to_dict()
+            for counter in ("submitted", "completed", "failed",
+                            "scoring_calls", "max_batch_observed"):
+                self._g_batcher.labels(
+                    deployment=name, version=str(version),
+                    counter=counter).set(float(counters[counter]))
+
+    def render_metrics(self) -> Optional[str]:
+        """The Prometheus text exposition (``GET /metrics``), or ``None``
+        when instrumentation is disabled."""
+        if self.metrics is None:
+            return None
+        self.collect_metrics()
+        return self.metrics.render()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly registry snapshot (embedded in :meth:`stats`);
+        empty when instrumentation is disabled."""
+        if self.metrics is None:
+            return {}
+        self.collect_metrics()
+        return self.metrics.snapshot()
+
     def stats(self) -> Dict[str, Any]:
         """JSON-serialisable service counters, per-deployment batcher stats
-        included."""
+        and the metrics-registry snapshot included."""
         with self._lock:
             batchers = dict(self._batchers)
             served = self._requests_served
             errors = self._request_errors
         return {
-            "uptime_s": round(time.perf_counter() - self._started_at, 3),
+            "uptime_s": self.uptime_s,
             "requests_served": served,
             "request_errors": errors,
             "batching": self.batching,
@@ -281,6 +509,7 @@ class RecommenderService:
                 f"{name}@v{version}": batcher.stats().to_dict()
                 for (name, version), batcher in sorted(batchers.items())
             },
+            "metrics": self.metrics_snapshot(),
         }
 
     def close(self) -> None:

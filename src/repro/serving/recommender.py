@@ -63,6 +63,15 @@ class TopKResult:
     encode_ms:
         Wall-clock milliseconds the warm-row sequence encoding took for this
         call (0 when every row was cold).
+    score_ms:
+        Wall-clock milliseconds of candidate scoring (the catalogue matmul,
+        ANN probes, or shard scatter) beyond the encode cost.
+    merge_ms:
+        Wall-clock milliseconds of top-K extraction / candidate filtering /
+        result assembly.  Together with ``encode_ms`` these are the
+        ``encode -> score -> merge`` stages of the request lifecycle
+        (:mod:`repro.observability.tracing`); they are coarse block timers
+        read at path boundaries, never per-item instrumentation.
     """
 
     items: np.ndarray
@@ -70,6 +79,8 @@ class TopKResult:
     cold: np.ndarray
     engine: str = "graph"
     encode_ms: float = 0.0
+    score_ms: float = 0.0
+    merge_ms: float = 0.0
 
     def __len__(self) -> int:
         return self.items.shape[0]
@@ -391,6 +402,19 @@ class Recommender:
                         index_params=self.index_params)
             return self._shard_client
 
+    def shard_stats(self) -> Optional[Dict[str, object]]:
+        """Health counters of the shard client, or ``None`` without one.
+
+        Never *builds* the client (unlike :meth:`shard_client`): a metrics
+        scrape must observe the pool, not spawn worker processes.
+        """
+        with self._shard_lock:
+            client = self._shard_client
+        if client is None:
+            return None
+        stats = getattr(client, "stats", None)
+        return stats() if callable(stats) else None
+
     def close(self) -> None:
         """Shut down the shard worker pool, if one was built.  Idempotent;
         the recommender stays usable (a later sharded request rebuilds it)."""
@@ -670,15 +694,22 @@ class Recommender:
         results bit-identical under ties.
         """
         timing: Dict[str, float] = {"ms": 0.0}
+        score_started = time.perf_counter()
         scores, cold = self.score(sequences, exclude_seen=config.exclude_seen,
                                   engine=config.engine, encode_timing=timing)
+        merge_started = time.perf_counter()
         k = min(config.k, self.num_items)
         all_ids = np.broadcast_to(
             np.arange(scores.shape[1], dtype=np.int64), scores.shape)
         items, top_scores = topk_best_first(all_ids, scores, k)
+        merge_ms = (time.perf_counter() - merge_started) * 1000.0
+        score_ms = max(0.0, (merge_started - score_started) * 1000.0
+                       - timing["ms"])
         return TopKResult(items=items, scores=top_scores, cold=cold,
                           engine=self._engine_label(config.engine),
-                          encode_ms=round(timing["ms"], 3))
+                          encode_ms=round(timing["ms"], 3),
+                          score_ms=round(score_ms, 3),
+                          merge_ms=round(merge_ms, 3))
 
     def _topk_exact_sharded(self, sequences: Sequence[Sequence[int]],
                             config: ServingConfig) -> TopKResult:
@@ -699,8 +730,11 @@ class Recommender:
         scores = np.empty((batch_size, k), dtype=self.dtype)
 
         timing: Dict[str, float] = {"ms": 0.0}
+        score_ms = 0.0
+        merge_ms = 0.0
         warm_rows = np.flatnonzero(~cold)
         if warm_rows.size:
+            score_started = time.perf_counter()
             encode, timing = self._encoder(config.engine)
             users = self._encode_warm_rows(servable, warm_rows,
                                            encoder=encode)
@@ -710,13 +744,21 @@ class Recommender:
                 if config.exclude_seen and histories[row]:
                     masked.extend(histories[row])
                 exclude.append(masked)
+            # The scatter-gather call covers per-shard scoring *and* the
+            # top-K merge in one round trip; it is accounted to the score
+            # stage (the merge stage covers in-process assembly only).
             warm_items, warm_scores = self.shard_client().search(
                 np.asarray(users), k, exclude=exclude, backend="exact")
+            merge_started = time.perf_counter()
             items[warm_rows] = warm_items
             scores[warm_rows] = warm_scores.astype(self.dtype, copy=False)
+            score_ms += max(0.0, (merge_started - score_started) * 1000.0
+                            - timing["ms"])
+            merge_ms += (time.perf_counter() - merge_started) * 1000.0
 
         cold_rows = np.flatnonzero(cold)
         if cold_rows.size:
+            score_started = time.perf_counter()
             fallback = self._fallback_scores(
                 [histories[row] for row in cold_rows])
             fallback[:, 0] = -np.inf
@@ -724,15 +766,20 @@ class Recommender:
                 for local, row in enumerate(cold_rows):
                     if histories[row]:
                         fallback[local, histories[row]] = -np.inf
+            merge_started = time.perf_counter()
             all_ids = np.broadcast_to(
                 np.arange(fallback.shape[1], dtype=np.int64), fallback.shape)
             cold_items, cold_scores = topk_best_first(all_ids, fallback, k)
             items[cold_rows] = cold_items
             scores[cold_rows] = cold_scores
+            score_ms += (merge_started - score_started) * 1000.0
+            merge_ms += (time.perf_counter() - merge_started) * 1000.0
 
         return TopKResult(items=items, scores=scores, cold=cold,
                           engine=self._engine_label(config.engine),
-                          encode_ms=round(timing["ms"], 3))
+                          encode_ms=round(timing["ms"], 3),
+                          score_ms=round(score_ms, 3),
+                          merge_ms=round(merge_ms, 3))
 
     def _topk_with_index_sharded(self, sequences: Sequence[Sequence[int]],
                                  config: ServingConfig) -> TopKResult:
@@ -752,7 +799,10 @@ class Recommender:
         exact_rows = set(int(row) for row in np.flatnonzero(cold))
         warm_rows = np.flatnonzero(~cold)
         encode_timing: Dict[str, float] = {"ms": 0.0}
+        score_ms = 0.0
+        merge_ms = 0.0
         if warm_rows.size:
+            score_started = time.perf_counter()
             encode, encode_timing = self._encoder(config.engine)
             users = self._encode_warm_rows(
                 servable, warm_rows, encoder=encode).astype(self.dtype,
@@ -762,6 +812,7 @@ class Recommender:
             warm_items, warm_scores = self.shard_client().search(
                 users, k, exclude=exclude, backend=config.backend,
                 overfetch=config.overfetch_margin)
+            merge_started = time.perf_counter()
             for local, row in enumerate(warm_rows):
                 if warm_items.shape[1] < k or np.any(warm_items[local] < 0):
                     exact_rows.add(int(row))
@@ -769,6 +820,9 @@ class Recommender:
                     items[row] = warm_items[local]
                     scores[row] = warm_scores[local].astype(self.dtype,
                                                             copy=False)
+            score_ms += max(0.0, (merge_started - score_started) * 1000.0
+                            - encode_timing["ms"])
+            merge_ms += (time.perf_counter() - merge_started) * 1000.0
 
         if exact_rows:
             rows = sorted(exact_rows)
@@ -779,9 +833,13 @@ class Recommender:
             items[rows] = fallback.items
             scores[rows] = fallback.scores
             encode_timing["ms"] += fallback.encode_ms
+            score_ms += fallback.score_ms
+            merge_ms += fallback.merge_ms
         return TopKResult(items=items, scores=scores, cold=cold,
                           engine=self._engine_label(config.engine),
-                          encode_ms=round(encode_timing["ms"], 3))
+                          encode_ms=round(encode_timing["ms"], 3),
+                          score_ms=round(score_ms, 3),
+                          merge_ms=round(merge_ms, 3))
 
     def _topk_with_index(self, sequences: Sequence[Sequence[int]],
                          config: ServingConfig) -> TopKResult:
@@ -799,12 +857,17 @@ class Recommender:
         exact_rows = set(int(row) for row in np.flatnonzero(cold))
         warm_rows = np.flatnonzero(~cold)
         encode_timing: Dict[str, float] = {"ms": 0.0}
+        score_ms = 0.0
+        merge_ms = 0.0
         if warm_rows.size:
+            score_started = time.perf_counter()
             encode, encode_timing = self._encoder(config.engine)
             users = self._encode_warm_rows(servable, warm_rows,
                                            encoder=encode).astype(
                 self.dtype, copy=False)
             index = self.item_index(config.backend)
+            score_ms += max(0.0, (time.perf_counter() - score_started)
+                            * 1000.0 - encode_timing["ms"])
             # Each row needs k candidates plus room for its own seen items
             # (and the configured safety margin).  Rows are searched in
             # power-of-two fetch buckets so one long history does not inflate
@@ -819,8 +882,11 @@ class Recommender:
             )
             for fetch in np.unique(buckets):
                 members = np.flatnonzero(buckets == fetch)
+                search_started = time.perf_counter()
                 candidate_ids, candidate_scores = index.search(
                     users[members], int(fetch))
+                filter_started = time.perf_counter()
+                score_ms += (filter_started - search_started) * 1000.0
                 for local, position in enumerate(members):
                     row = int(warm_rows[position])
                     ids_row = candidate_ids[local]
@@ -833,6 +899,7 @@ class Recommender:
                         continue
                     items[row] = ids_row[chosen]
                     scores[row] = candidate_scores[local, chosen]
+                merge_ms += (time.perf_counter() - filter_started) * 1000.0
 
         if exact_rows:
             rows = sorted(exact_rows)
@@ -843,9 +910,13 @@ class Recommender:
             items[rows] = fallback.items
             scores[rows] = fallback.scores
             encode_timing["ms"] += fallback.encode_ms
+            score_ms += fallback.score_ms
+            merge_ms += fallback.merge_ms
         return TopKResult(items=items, scores=scores, cold=cold,
                           engine=self._engine_label(config.engine),
-                          encode_ms=round(encode_timing["ms"], 3))
+                          encode_ms=round(encode_timing["ms"], 3),
+                          score_ms=round(score_ms, 3),
+                          merge_ms=round(merge_ms, 3))
 
     # ------------------------------------------------------------------ #
     # Construction helpers

@@ -157,3 +157,16 @@ class LocalShardClient(ShardClient):
             for shard, (lo, hi) in enumerate(self.ranges)
         ]
         return merge_topk(parts, k)
+
+    def stats(self) -> Dict[str, object]:
+        """Health counters, shape-compatible with :meth:`ShardPool.stats`
+        (an in-process client has no workers to restart or time out)."""
+        return {
+            "num_shards": self.num_shards,
+            "num_rows": self.num_rows,
+            "ranges": list(self.ranges),
+            "block_rows": self.block_rows,
+            "transport": "local",
+            "restarts": 0,
+            "timeouts": 0,
+        }

@@ -147,6 +147,7 @@ class ShardPool(ShardClient):
         self._ctx = multiprocessing.get_context(mp_context)
         self._seq = 0
         self._restarts = 0
+        self._timeouts = 0
         self._state: Dict[str, Any] = {
             "closed": False, "segment": segment, "owned_dir": owned_dir,
             "processes": [None] * len(self.ranges),
@@ -265,6 +266,7 @@ class ShardPool(ShardClient):
             "block_rows": self.block_rows,
             "transport": self._source["kind"],
             "restarts": self._restarts,
+            "timeouts": self._timeouts,
             "pids": [process.pid if process is not None else None
                      for process in self._state["processes"]],
         }
@@ -356,6 +358,7 @@ class ShardPool(ShardClient):
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0 or not conn.poll(max(0.0, remaining)):
+                self._timeouts += 1
                 raise ShardTimeout(
                     f"shard {shard} did not reply within {self.timeout:.1f}s")
             try:

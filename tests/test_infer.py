@@ -698,6 +698,85 @@ class TestBenchRegressionGate:
     def test_tracks_shard_bench_file(self, gate):
         assert "BENCH_shard.json" in gate.TRACKED_FILES
 
+    def test_tracks_serve_slo_bench_file(self, gate):
+        assert "BENCH_serve_slo.json" in gate.TRACKED_FILES
+
+    # -- repeated-samples (Mann-Whitney) mode --------------------------- #
+    def test_mann_whitney_pvalue_directionality(self, gate):
+        clearly_lower = gate.mann_whitney_drop_pvalue(
+            [100.0, 101.0, 102.0, 103.0], [50.0, 51.0, 52.0, 53.0])
+        assert clearly_lower < 0.05
+        no_evidence = gate.mann_whitney_drop_pvalue(
+            [100.0, 98.0, 102.0], [99.0, 97.0, 101.0])
+        assert no_evidence > 0.05
+        higher = gate.mann_whitney_drop_pvalue(
+            [50.0, 51.0, 52.0], [100.0, 101.0, 102.0])
+        assert higher > 0.5  # an improvement is never "dropped"
+        assert gate.mann_whitney_drop_pvalue([], [1.0]) is None
+        assert gate.mann_whitney_drop_pvalue(
+            [7.0, 7.0, 7.0], [7.0, 7.0, 7.0]) is None  # degenerate variance
+
+    def test_samples_mode_fails_on_significant_drop(self, gate, tmp_path):
+        baseline = {"sustainable_rps": 100.0,
+                    "samples": {"sustainable_rps": [100.0, 100.0, 100.0]}}
+        fresh = {"sustainable_rps": 50.0,
+                 "samples": {"sustainable_rps": [50.0, 50.0, 50.0]}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_samples_mode_passes_noise_a_threshold_would_flag(self, gate,
+                                                              tmp_path):
+        """Three quiet rounds beat one noisy number: a drop inside the
+        samples' own spread is not significant, even past the threshold."""
+        baseline = {"sustainable_rps": 400.0,
+                    "samples": {"sustainable_rps": [400.0, 100.0, 400.0]}}
+        fresh = {"sustainable_rps": 100.0,
+                 "samples": {"sustainable_rps": [100.0, 400.0, 100.0]}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
+    def test_samples_mode_all_tied_passes(self, gate, tmp_path):
+        baseline = {"sustainable_rps": 200.0,
+                    "samples": {"sustainable_rps": [200.0, 200.0, 200.0]}}
+        fresh = {"sustainable_rps": 200.0,
+                 "samples": {"sustainable_rps": [200.0, 200.0, 200.0]}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
+    def test_samples_mode_respects_alpha(self, gate, tmp_path):
+        """3v3 fully-separated samples land around p~0.02: significant at
+        the default alpha, not at 0.01."""
+        baseline = {"sustainable_rps": 100.0,
+                    "samples": {"sustainable_rps": [100.0, 100.0, 100.0]}}
+        fresh = {"sustainable_rps": 50.0,
+                 "samples": {"sustainable_rps": [50.0, 50.0, 50.0]}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+        assert self._run(gate, tmp_path, baseline, fresh, alpha=0.01) == 0
+
+    def test_samples_mode_honours_declared_skip(self, gate, tmp_path):
+        baseline = {"sustainable_rps": 100.0,
+                    "samples": {"sustainable_rps": [100.0, 100.0, 100.0]}}
+        fresh = {"sustainable_rps": 50.0,
+                 "samples": {"sustainable_rps": [50.0, 50.0, 50.0]},
+                 "skipped_metrics": {
+                     "sustainable_rps": "cpu_count=1: scheduler noise"}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
+    def test_too_few_samples_fall_back_to_threshold(self, gate, tmp_path):
+        """Under MIN_SAMPLES per side the threshold test runs as before —
+        a 50% absolute drop fails even though the pair of samples alone
+        could never reach significance."""
+        baseline = {"sustainable_rps": 100.0,
+                    "samples": {"sustainable_rps": [100.0, 100.0]}}
+        fresh = {"sustainable_rps": 50.0,
+                 "samples": {"sustainable_rps": [50.0, 50.0]}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_samples_subtree_is_provenance_not_metrics(self, gate, tmp_path):
+        """A fresh run without a samples map must not trip the
+        disappeared-metric check for the baseline's `samples.*` keys."""
+        baseline = {"sustainable_rps": 100.0,
+                    "samples": {"sustainable_rps": [100.0, 100.0, 100.0]}}
+        fresh = {"sustainable_rps": 95.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
     def test_missing_fresh_file_fails(self, gate, tmp_path):
         import json
 

@@ -4,8 +4,9 @@ Covers: typed request/response envelopes, the deployment registry
 (register / get / list / retire / hot-swap reload), the dynamic micro-batcher
 (exact parity with direct `Recommender.topk` under concurrent callers,
 max-wait flush behaviour, manual-mode determinism, in-flight requests
-surviving a hot-swap), the service facade, the JSONL and HTTP front-ends,
-and the `repro serve` CLI error paths.
+surviving a hot-swap), the service facade, the JSONL and HTTP front-ends
+(including the enriched /healthz payload and the --verbose structured
+access log), and the `repro serve` CLI error paths.
 """
 
 from __future__ import annotations
@@ -314,6 +315,22 @@ class TestDynamicBatcher:
             futures = [batcher.submit(history, k=3) for history in histories]
             results = [future.result(timeout=10) for future in futures]
         assert all(result.batch_size == 2 for result in results)
+
+    def test_queue_ms_counts_from_submit_even_under_manual_flush(
+            self, service_setup):
+        """Regression: `enqueued_at` is captured at the top of submit(), so
+        queue-time attribution starts when the caller handed the request
+        over — a manual flush() long after submit must report the full wait,
+        and never a negative duration."""
+        _, split, features, make_model = service_setup
+        recommender = _recommender(split, features, make_model(0))
+        batcher = DynamicBatcher(recommender, start=False)
+        future = batcher.submit(split.test[0].history, k=3)
+        time.sleep(0.02)
+        batcher.flush()
+        result = future.result(timeout=0)
+        assert result.queue_ms >= 15.0  # the wait before flush is queue time
+        batcher.close()
 
     def test_max_wait_flushes_partial_batch(self, service_setup):
         """A lonely request must be served once max_wait_ms elapses, long
@@ -698,6 +715,47 @@ class TestHTTPServer:
         assert status == 200 and payload["deployments"][0]["name"] == "arts"
         status, payload = self._get(http_server, "/healthz")
         assert status == 200 and payload["ok"] is True
+
+    def test_healthz_reports_versions_and_uptime(self, http_server):
+        """The PR-4 contract keys (`ok`, `deployments`) survive; uptime and
+        per-deployment name/version let an orchestrator watch a hot-swap."""
+        status, payload = self._get(http_server, "/healthz")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["deployments"] == 1
+        assert payload["uptime_s"] >= 0.0
+        assert payload["deployment_versions"] == [
+            {"name": "arts", "version": 1}]
+
+    def test_verbose_access_log_goes_to_stderr(self, deployment, capsys):
+        service = RecommenderService()
+        service.deploy(deployment)
+        server = ServiceHTTPServer(service, port=0, verbose=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            self._get(server, "/healthz")
+            self._post(server, "/recommend", {"history": [1, 2]})
+            self._post(server, "/recommend", {"history": "oops"})
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=5)
+        captured = capsys.readouterr()
+        assert captured.out == ""  # stdout stays protocol-pure
+        entries = [json.loads(line) for line in captured.err.splitlines()]
+        assert [(e["method"], e["path"], e["status"]) for e in entries] == [
+            ("GET", "/healthz", 200),
+            ("POST", "/recommend", 200),
+            ("POST", "/recommend", 400),
+        ]
+        assert all(e["duration_ms"] >= 0.0 for e in entries)
+
+    def test_non_verbose_server_logs_nothing(self, http_server, capsys):
+        self._get(http_server, "/healthz")
+        captured = capsys.readouterr()
+        assert captured.err == ""
 
 
 class TestServeCLIErrorPaths:

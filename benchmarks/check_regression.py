@@ -73,6 +73,7 @@ TRACKED_FILES = (
     "BENCH_encode.json",
     "BENCH_shard.json",
     "BENCH_serve_slo.json",
+    "BENCH_resilience.json",
 )
 
 #: fewest per-round samples (each side) for the Mann-Whitney test to run

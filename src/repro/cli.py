@@ -161,6 +161,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-batching", action="store_true",
                               help="disable dynamic batching (score each "
                                    "request individually)")
+    serve_parser.add_argument("--max-queue", type=int, default=None,
+                              metavar="N",
+                              help="admission control: bound each batcher "
+                                   "queue at N waiting requests (default: "
+                                   "unbounded)")
+    serve_parser.add_argument("--overload-policy", default="reject",
+                              choices=["reject", "shed-oldest", "block"],
+                              help="what a full --max-queue does with the "
+                                   "next arrival: refuse it (HTTP 429 + "
+                                   "Retry-After), evict the oldest queued "
+                                   "request, or block the caller until "
+                                   "space / its deadline (default: reject)")
+    serve_parser.add_argument("--max-inflight", type=int, default=None,
+                              metavar="N",
+                              help="shed requests beyond N concurrently "
+                                   "admitted ones at the service edge "
+                                   "(default: unlimited)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="with --http: structured access log to "
                                    "stderr (one JSON object per request: "
@@ -230,6 +247,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                      "25,50,100,200,400)")
     loadgen_parser.add_argument("--step-duration", type=float, default=2.0,
                                 help="seconds per --find-max ladder step")
+    loadgen_parser.add_argument("--deadline-ms", type=float, default=None,
+                                help="attach this deadline_ms budget to "
+                                     "every generated request; expiries "
+                                     "come back classified as "
+                                     "deadline_expired, not errors")
     loadgen_parser.add_argument("--json", action="store_true",
                                 help="emit the report as one JSON object "
                                      "instead of the human-readable summary")
@@ -438,7 +460,10 @@ def _command_serve(args) -> int:
 
     service = RecommenderService(registry, batching=not args.no_batching,
                                  max_batch_size=args.max_batch_size,
-                                 max_wait_ms=args.max_wait_ms)
+                                 max_wait_ms=args.max_wait_ms,
+                                 max_queue=args.max_queue,
+                                 overload_policy=args.overload_policy,
+                                 max_inflight=args.max_inflight)
 
     # Persistent front-ends.  Whatever way they exit (EOF, shutdown command,
     # Ctrl-C, a fatal error), the shard worker pools must come down with the
@@ -610,16 +635,19 @@ def _command_loadgen(args) -> int:
             result = find_max_sustainable_rps(
                 send, catalogue=catalogue, slo_p95_ms=args.slo_p95_ms,
                 rates=rates, step_duration_s=args.step_duration,
-                concurrency=args.workers, seed=args.seed)
+                concurrency=args.workers, seed=args.seed,
+                deadline_ms=args.deadline_ms)
             if args.json:
                 print(json_module.dumps(result, sort_keys=True))
             else:
                 rows = [[step["rate"], step["achieved_rps"], step["p95_ms"],
-                         step["errors"], "yes" if step["sustained"] else "no"]
+                         step["errors"], step["shed"],
+                         step["deadline_expired"],
+                         "yes" if step["sustained"] else "no"]
                         for step in result["steps"]]
                 print(format_table(
                     ["offered rps", "achieved rps", "p95 ms", "errors",
-                     "sustained"],
+                     "shed", "expired", "sustained"],
                     rows, precision=2,
                     title=f"SLO ramp search — p95 <= {args.slo_p95_ms:g} ms"))
                 print(f"max sustainable rate: "
@@ -634,10 +662,12 @@ def _command_loadgen(args) -> int:
                 offsets = poisson_offsets(args.rate, args.duration,
                                           seed=args.seed)
             payloads = session_requests(len(offsets), catalogue,
-                                        seed=args.seed)
+                                        seed=args.seed,
+                                        deadline_ms=args.deadline_ms)
             report = run_open_loop(send, payloads, offsets,
                                    concurrency=args.workers,
-                                   profile=args.profile)
+                                   profile=args.profile,
+                                   slo_ms=args.slo_p95_ms)
             summary = report.to_dict()
             if args.json:
                 print(json_module.dumps(summary, sort_keys=True))

@@ -35,10 +35,13 @@ import math
 import random
 import threading
 import time
+import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..resilience import DeadlineExceeded, OverloadError
+from ..shard import ShardTimeout
 from .metrics import quantile
 
 Sender = Callable[[Dict[str, Any]], Any]
@@ -97,7 +100,8 @@ def ramp_offsets(start_rate: float, end_rate: float, duration_s: float,
 def session_requests(count: int, catalogue: int, num_users: int = 64,
                      revisit: float = 0.6, history: int = 12,
                      seed: int = 0,
-                     deployment: Optional[str] = None
+                     deployment: Optional[str] = None,
+                     deadline_ms: Optional[float] = None
                      ) -> List[Dict[str, Any]]:
     """``count`` request payloads from a re-visiting user population.
 
@@ -126,19 +130,48 @@ def session_requests(count: int, catalogue: int, num_users: int = 64,
         }
         if deployment is not None:
             payload["deployment"] = deployment
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
         payloads.append(payload)
     return payloads
 
 
 def http_sender(url: str, timeout: float = 30.0) -> Sender:
     """A ``send`` callable POSTing payloads to ``url`` (the /recommend
-    endpoint); non-2xx responses and error envelopes raise."""
+    endpoint); non-2xx responses and error envelopes raise.
+
+    The resilience status codes come back as their typed errors — 429 as
+    :class:`~repro.resilience.OverloadError` (with the server's
+    ``Retry-After``), 504 as :class:`~repro.resilience.DeadlineExceeded` —
+    so :func:`run_open_loop` classifies HTTP outcomes exactly like
+    in-process ones.
+    """
     def send(payload: Dict[str, Any]) -> Dict[str, Any]:
         body = json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
             url, data=body, headers={"Content-Type": "application/json"})
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            answer = json.loads(response.read().decode("utf-8"))
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                answer = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                detail = str(json.loads(
+                    error.read().decode("utf-8")).get("error", ""))
+            except Exception:  # noqa: BLE001 — diagnostics only
+                pass
+            if error.code == 429:
+                try:
+                    retry_after = float(error.headers.get("Retry-After", 1.0))
+                except (TypeError, ValueError):
+                    retry_after = 1.0
+                raise OverloadError(detail or "shed (HTTP 429)",
+                                    retry_after_s=retry_after) from None
+            if error.code == 504:
+                raise DeadlineExceeded(
+                    detail or "deadline exceeded (HTTP 504)") from None
+            raise RuntimeError(
+                detail or f"HTTP {error.code}") from None
         if isinstance(answer, dict) and "error" in answer:
             raise RuntimeError(answer["error"])
         return answer
@@ -157,7 +190,17 @@ def service_sender(service, timeout: Optional[float] = None) -> Sender:
 # --------------------------------------------------------------------- #
 @dataclass
 class LoadReport:
-    """Outcome of one open-loop run."""
+    """Outcome of one open-loop run.
+
+    Outcomes are *classified*, not lumped: ``completed`` answered OK,
+    ``shed`` were refused by admission control (HTTP 429 /
+    :class:`OverloadError` — the service protecting itself, not failing),
+    ``deadline_expired`` ran out of budget (HTTP 504), and ``errors`` is
+    everything genuinely broken.  ``goodput_rps`` counts only completed
+    requests that also met the ``slo_ms`` bound passed to
+    :func:`run_open_loop` (all completed requests when no bound was given)
+    — the number that should stay high when overload shedding works.
+    """
 
     profile: str
     duration_s: float
@@ -171,6 +214,9 @@ class LoadReport:
     p99_ms: float
     max_ms: float
     concurrency: int
+    shed: int = 0
+    deadline_expired: int = 0
+    goodput_rps: float = 0.0
     latencies_ms: List[float] = field(default_factory=list, repr=False)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -180,8 +226,11 @@ class LoadReport:
             "offered": self.offered,
             "completed": self.completed,
             "errors": self.errors,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
             "offered_rps": round(self.offered_rps, 2),
             "achieved_rps": round(self.achieved_rps, 2),
+            "goodput_rps": round(self.goodput_rps, 2),
             "p50_ms": round(self.p50_ms, 3),
             "p95_ms": round(self.p95_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
@@ -192,7 +241,8 @@ class LoadReport:
 
 def run_open_loop(send: Sender, payloads: Sequence[Dict[str, Any]],
                   offsets: Sequence[float], concurrency: int = 8,
-                  profile: str = "poisson") -> LoadReport:
+                  profile: str = "poisson",
+                  slo_ms: Optional[float] = None) -> LoadReport:
     """Dispatch ``payloads`` on the ``offsets`` schedule; measure open-loop.
 
     A pool of ``concurrency`` workers pulls arrivals in schedule order; each
@@ -202,6 +252,13 @@ def run_open_loop(send: Sender, payloads: Sequence[Dict[str, Any]],
     bounds the in-flight requests (an unbounded thread-per-arrival
     generator would melt before the service does); offered minus achieved
     RPS reveals when that bound, or the service, saturates.
+
+    Each arrival's outcome is classified: ``ok``, ``shed``
+    (:class:`~repro.resilience.OverloadError` — admission control refusing
+    work), ``deadline`` (:class:`~repro.resilience.DeadlineExceeded` or a
+    shard timeout — the budget ran out), or ``error`` (anything else).
+    ``slo_ms`` additionally bounds which completed requests count toward
+    ``goodput_rps``.
     """
     if len(payloads) != len(offsets):
         raise ValueError(f"{len(payloads)} payloads vs {len(offsets)} offsets")
@@ -209,7 +266,7 @@ def run_open_loop(send: Sender, payloads: Sequence[Dict[str, Any]],
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     total = len(offsets)
     latencies = [float("nan")] * total
-    failed = [False] * total
+    outcomes = ["error"] * total
     cursor = {"next": 0}
     gate = threading.Lock()
     start = time.perf_counter() + 0.05  # let every worker reach the loop
@@ -227,8 +284,14 @@ def run_open_loop(send: Sender, payloads: Sequence[Dict[str, Any]],
                 time.sleep(delay)
             try:
                 send(payloads[position])
+            except OverloadError:
+                outcomes[position] = "shed"
+            except (DeadlineExceeded, ShardTimeout):
+                outcomes[position] = "deadline"
             except Exception:
-                failed[position] = True
+                outcomes[position] = "error"
+            else:
+                outcomes[position] = "ok"
             latencies[position] = (time.perf_counter() - scheduled) * 1000.0
 
     threads = [threading.Thread(target=worker, name=f"repro-loadgen-{i}",
@@ -240,9 +303,14 @@ def run_open_loop(send: Sender, payloads: Sequence[Dict[str, Any]],
         thread.join()
     wall = time.perf_counter() - start
 
-    ok = [latency for latency, bad in zip(latencies, failed)
-          if not bad and not math.isnan(latency)]
-    errors = sum(failed)
+    ok = [latency for latency, outcome in zip(latencies, outcomes)
+          if outcome == "ok" and not math.isnan(latency)]
+    errors = sum(1 for outcome in outcomes if outcome == "error")
+    shed = sum(1 for outcome in outcomes if outcome == "shed")
+    deadline_expired = sum(1 for outcome in outcomes
+                           if outcome == "deadline")
+    good = (len(ok) if slo_ms is None
+            else sum(1 for latency in ok if latency <= slo_ms))
     duration = max(wall, offsets[-1] if offsets else 0.0, 1e-9)
     return LoadReport(
         profile=profile,
@@ -250,8 +318,11 @@ def run_open_loop(send: Sender, payloads: Sequence[Dict[str, Any]],
         offered=total,
         completed=len(ok),
         errors=errors,
+        shed=shed,
+        deadline_expired=deadline_expired,
         offered_rps=total / duration,
         achieved_rps=len(ok) / duration,
+        goodput_rps=good / duration,
         p50_ms=quantile(ok, 0.50) if ok else float("nan"),
         p95_ms=quantile(ok, 0.95) if ok else float("nan"),
         p99_ms=quantile(ok, 0.99) if ok else float("nan"),
@@ -268,17 +339,21 @@ def find_max_sustainable_rps(send: Sender, *, catalogue: int,
                              concurrency: int = 8,
                              deployment: Optional[str] = None,
                              seed: int = 0,
-                             min_achieved_fraction: float = 0.85
+                             min_achieved_fraction: float = 0.85,
+                             deadline_ms: Optional[float] = None
                              ) -> Dict[str, Any]:
     """Ramp search: the highest offered rate the service sustains in-SLO.
 
     Steps the ascending ``rates`` ladder, running a short fixed-rate open
     loop at each.  A rate is *sustained* when its p95 latency is within
     ``slo_p95_ms`` **and** achieved throughput kept up with offered
-    (``min_achieved_fraction``) with no errors.  The search stops at the
-    first unsustained rate — beyond the knee, higher rates only queue
-    harder.  Returns the best sustained rate (0.0 if even the first step
-    failed) and the full per-step table.
+    (``min_achieved_fraction``) with no errors.  Shed and deadline-expired
+    requests are *over-SLO*, not hard failures: a rate that sheds is simply
+    not sustained (the service is protecting itself there), while a rate
+    that errors is broken — the two must not be conflated when admission
+    control is on.  The search stops at the first unsustained rate — beyond
+    the knee, higher rates only queue harder.  Returns the best sustained
+    rate (0.0 if even the first step failed) and the full per-step table.
     """
     ladder = sorted(float(rate) for rate in rates)
     if not ladder:
@@ -291,14 +366,18 @@ def find_max_sustainable_rps(send: Sender, *, catalogue: int,
             continue
         payloads = session_requests(len(offsets), catalogue,
                                     seed=seed + position,
-                                    deployment=deployment)
+                                    deployment=deployment,
+                                    deadline_ms=deadline_ms)
         report = run_open_loop(send, payloads, offsets,
-                               concurrency=concurrency, profile="poisson")
+                               concurrency=concurrency, profile="poisson",
+                               slo_ms=slo_p95_ms)
         entry = report.to_dict()
         entry["rate"] = rate
         sustained = (not math.isnan(report.p95_ms)
                      and report.p95_ms <= slo_p95_ms
                      and report.errors == 0
+                     and report.shed == 0
+                     and report.deadline_expired == 0
                      and report.achieved_rps
                      >= min_achieved_fraction * report.offered_rps)
         entry["sustained"] = sustained

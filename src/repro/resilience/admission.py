@@ -1,0 +1,105 @@
+"""Admission control: refuse work early instead of queueing into collapse.
+
+Two mechanisms, two places:
+
+* the **bounded batcher queue** (``max_queue`` + ``overload_policy`` on
+  :class:`~repro.service.batcher.DynamicBatcher`) governs how a full queue
+  treats the next arrival — the policies live here as named constants with
+  their semantics documented once;
+* the **max-inflight gate** (:class:`InflightGate`) bounds concurrently
+  admitted requests at the :class:`~repro.service.RecommenderService` edge,
+  upstream of any queue, so a slow downstream can never accumulate an
+  unbounded number of waiting caller threads.
+
+Both shed with a typed :class:`~repro.resilience.errors.OverloadError`
+(HTTP 429), never by blocking the caller indefinitely or dropping work
+silently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from .errors import OverloadError
+
+#: what a full batcher queue does with the next arrival:
+#:
+#: ``reject``
+#:     refuse it immediately with :class:`OverloadError` — the caller sees
+#:     HTTP 429 and backs off (lowest latency for admitted work, the
+#:     default);
+#: ``shed-oldest``
+#:     evict the oldest queued request (failing *its* future with
+#:     :class:`OverloadError`) and admit the newcomer — freshest-first,
+#:     matching callers who time out and retry anyway;
+#: ``block``
+#:     make the submitting caller wait for space, up to its deadline
+#:     (:class:`DeadlineExceeded` when that passes; without a deadline it
+#:     waits indefinitely) — backpressure for trusted in-process producers.
+ADMISSION_POLICIES = ("reject", "shed-oldest", "block")
+
+
+class InflightGate:
+    """A non-blocking concurrency limiter for the service edge.
+
+    ``acquire`` admits up to ``limit`` concurrent holders and raises
+    :class:`OverloadError` beyond that — it never blocks, because a caller
+    queueing *here* is exactly the unbounded-wait failure mode admission
+    control exists to prevent.  ``limit=None`` disables the gate (every
+    acquire succeeds).  Use as a context manager around one request.
+    """
+
+    def __init__(self, limit: Optional[int] = None,
+                 retry_after_s: float = 1.0):
+        if limit is not None and limit < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {limit}")
+        self.limit = limit
+        self.retry_after_s = float(retry_after_s)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._peak = 0
+        self._rejected = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return self._rejected
+
+    @property
+    def peak(self) -> int:
+        with self._lock:
+            return self._peak
+
+    def acquire(self) -> None:
+        if self.limit is None:
+            with self._lock:
+                self._inflight += 1
+                self._peak = max(self._peak, self._inflight)
+            return
+        with self._lock:
+            if self._inflight >= self.limit:
+                self._rejected += 1
+                raise OverloadError(
+                    f"max inflight requests reached "
+                    f"({self._inflight}/{self.limit}); retry later",
+                    retry_after_s=self.retry_after_s)
+            self._inflight += 1
+            self._peak = max(self._peak, self._inflight)
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+
+    def __enter__(self) -> "InflightGate":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()

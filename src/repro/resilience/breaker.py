@@ -1,0 +1,166 @@
+"""Circuit breaker: stop hammering a failing dependency, probe for recovery.
+
+The classic three-state machine over a sliding outcome window:
+
+* **closed** — calls flow; outcomes are recorded into a window of the last
+  ``window`` calls.  When the window holds at least ``min_calls`` outcomes
+  and the failure rate reaches ``failure_threshold``, the breaker opens.
+* **open** — calls are refused (:meth:`allow` returns ``False``; the
+  caller degrades or sheds) for ``reset_after_s``, giving the dependency
+  room to recover instead of feeding it load while it is down.
+* **half-open** — after the cooldown, up to ``probe_calls`` trial calls
+  are let through.  Any probe failure re-opens (and restarts the
+  cooldown); ``probe_calls`` consecutive successes close the breaker and
+  clear the window.
+
+The clock is injectable (``clock=`` any ``() -> float`` monotonic source),
+so the chaos tests drive the state machine deterministically — no sleeps,
+no wall-clock flakiness.  All methods are thread-safe; the shard guard
+calls them from concurrent request threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+#: state names, and the numeric encoding the ``repro_breaker_state`` gauge
+#: exports (0 — healthy, rising with severity)
+BREAKER_STATES = ("closed", "half-open", "open")
+BREAKER_STATE_CODES: Dict[str, int] = {"closed": 0, "half-open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with a sliding outcome window."""
+
+    def __init__(self, window: int = 20, failure_threshold: float = 0.5,
+                 min_calls: int = 5, reset_after_s: float = 5.0,
+                 probe_calls: int = 2,
+                 clock: Optional[Callable[[], float]] = None):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(f"failure_threshold must be in (0, 1], "
+                             f"got {failure_threshold}")
+        if min_calls < 1:
+            raise ValueError(f"min_calls must be >= 1, got {min_calls}")
+        if reset_after_s <= 0:
+            raise ValueError(f"reset_after_s must be > 0, got {reset_after_s}")
+        if probe_calls < 1:
+            raise ValueError(f"probe_calls must be >= 1, got {probe_calls}")
+        self.window = int(window)
+        self.failure_threshold = float(failure_threshold)
+        self.min_calls = int(min_calls)
+        self.reset_after_s = float(reset_after_s)
+        self.probe_calls = int(probe_calls)
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._outcomes: Deque[bool] = deque(maxlen=self.window)
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._probe_successes = 0
+        self._opens = 0
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    @property
+    def state_code(self) -> int:
+        return BREAKER_STATE_CODES[self.state]
+
+    @property
+    def opens(self) -> int:
+        """How many times the breaker has tripped open (monotone counter)."""
+        with self._lock:
+            return self._opens
+
+    def _state_locked(self) -> str:
+        """Current state, advancing open -> half-open when the cooldown has
+        elapsed (lazily, on observation — there is no background timer)."""
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self.reset_after_s):
+            self._state = "half-open"
+            self._probes_inflight = 0
+            self._probe_successes = 0
+        return self._state
+
+    def failure_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    # ------------------------------------------------------------------ #
+    # Protocol: allow -> call -> record
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """Whether the next call may go to the protected dependency.
+
+        ``False`` means the caller must take its degraded path (and must
+        *not* call :meth:`record_success` / :meth:`record_failure` — no
+        probe slot was consumed).
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "open":
+                return False
+            if self._probes_inflight < self.probe_calls:
+                self._probes_inflight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == "half-open":
+                self._probe_successes += 1
+                if self._probe_successes >= self.probe_calls:
+                    self._state = "closed"
+                    self._outcomes.clear()
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._state_locked()
+            if state == "half-open":
+                # one failed probe re-opens immediately, restarting the
+                # cooldown — a recovering dependency gets quiet again
+                self._trip_locked()
+                return
+            self._outcomes.append(False)
+            if (len(self._outcomes) >= self.min_calls
+                    and sum(1 for ok in self._outcomes if not ok)
+                    >= self.failure_threshold * len(self._outcomes)):
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._opens += 1
+        self._outcomes.clear()
+        self._probes_inflight = 0
+        self._probe_successes = 0
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            state = self._state_locked()
+            outcomes = len(self._outcomes)
+            failures = sum(1 for ok in self._outcomes if not ok)
+        return {
+            "state": state,
+            "state_code": BREAKER_STATE_CODES[state],
+            "opens": self._opens,
+            "window_calls": outcomes,
+            "window_failures": failures,
+        }

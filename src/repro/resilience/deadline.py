@@ -1,0 +1,51 @@
+"""Deadline propagation: one absolute timestamp, checked at every stage.
+
+A request's deadline is fixed once, at the service edge, as an absolute
+``time.monotonic()`` timestamp (``now + deadline_ms``) and handed down the
+stack by value — batcher queue wait, encode, shard scatter-gather — so
+every layer agrees on exactly when the caller gives up, no matter how long
+the request sat in any one of them.  Layers never extend a deadline; the
+shard pool clamps its own per-search timeout to the remaining budget.
+
+Monotonic, not wall-clock: a deadline must survive NTP steps, and it is
+compared against ``time.monotonic()`` everywhere (the batcher's queue-time
+attribution keeps using ``perf_counter`` — the two clocks are never mixed
+on one value).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+def deadline_from_budget_ms(budget_ms: Optional[float],
+                            now: Optional[float] = None) -> Optional[float]:
+    """The absolute monotonic deadline for a relative millisecond budget
+    (``None`` budget means no deadline)."""
+    if budget_ms is None:
+        return None
+    if now is None:
+        now = time.monotonic()
+    return now + float(budget_ms) / 1000.0
+
+
+def remaining_s(deadline: Optional[float],
+                now: Optional[float] = None) -> Optional[float]:
+    """Seconds left until ``deadline`` (may be negative; ``None`` passes
+    through)."""
+    if deadline is None:
+        return None
+    if now is None:
+        now = time.monotonic()
+    return deadline - now
+
+
+def expired(deadline: Optional[float],
+            now: Optional[float] = None) -> bool:
+    """Whether ``deadline`` has passed (``None`` never expires)."""
+    if deadline is None:
+        return False
+    if now is None:
+        now = time.monotonic()
+    return now >= deadline

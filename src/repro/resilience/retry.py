@@ -1,0 +1,51 @@
+"""Retry policy: bounded attempts, jittered backoff, seeded determinism.
+
+Retrying a shard search is safe *because of* the PR 6 merge contract: every
+shard's scoring is a pure function of (matrix rows, queries), and the
+top-K merge is a total order — a retried scatter-gather returns the same
+bits the first attempt would have, so at-least-once execution is invisible
+to the caller.  The policy is deliberately conservative (one retry by
+default, on :class:`~repro.shard.WorkerCrashed` only): retries multiply
+load exactly when the system is least able to absorb it.
+
+Jitter is drawn from a private seeded :class:`random.Random`, so the chaos
+suite can assert the exact backoff sequence a seed produces.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Optional
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter over a bounded attempt count.
+
+    ``backoff_s(attempt)`` (attempt 0 = first retry) draws uniformly from
+    ``[0, base_backoff_ms * 2**attempt]`` milliseconds — "full jitter",
+    which decorrelates retry storms better than fixed or equal-jitter
+    schedules.  ``max_retries=0`` disables retrying.
+    """
+
+    def __init__(self, max_retries: int = 1, base_backoff_ms: float = 10.0,
+                 seed: Optional[int] = None):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if base_backoff_ms < 0:
+            raise ValueError(
+                f"base_backoff_ms must be >= 0, got {base_backoff_ms}")
+        self.max_retries = int(max_retries)
+        self.base_backoff_ms = float(base_backoff_ms)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether retry number ``attempt`` (0-based) is still allowed."""
+        return attempt < self.max_retries
+
+    def backoff_s(self, attempt: int) -> float:
+        """The jittered pause before retry number ``attempt`` (0-based)."""
+        ceiling_ms = self.base_backoff_ms * (2 ** max(0, int(attempt)))
+        with self._lock:
+            return self._rng.uniform(0.0, ceiling_ms) / 1000.0

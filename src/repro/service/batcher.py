@@ -29,6 +29,8 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..resilience import (ADMISSION_POLICIES, BatcherCrashed,
+                          DeadlineExceeded, OverloadError)
 from ..serving import Recommender, ServingConfig
 
 
@@ -56,6 +58,11 @@ class BatchedResult:
     #: row) — the ``score`` and ``merge`` stages of the request lifecycle.
     score_ms: float = 0.0
     merge_ms: float = 0.0
+    #: served through the in-process degradation fallback (shard breaker
+    #: open or retries exhausted) — still bit-identical top-K
+    degraded: bool = False
+    #: shard scatter-gather retries this call absorbed
+    shard_retries: int = 0
 
 
 @dataclass
@@ -68,6 +75,14 @@ class BatcherStats:
     ticks: int = 0
     scoring_calls: int = 0
     max_batch_observed: int = 0
+    #: arrivals refused by the ``reject`` policy on a full queue
+    rejected: int = 0
+    #: queued requests evicted by the ``shed-oldest`` policy
+    shed: int = 0
+    #: requests whose deadline passed before scoring (failed at dequeue)
+    expired: int = 0
+    #: worker-thread deaths (each fails every parked future, never strands)
+    worker_crashes: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -83,6 +98,10 @@ class BatcherStats:
             "ticks": self.ticks,
             "scoring_calls": self.scoring_calls,
             "max_batch_observed": self.max_batch_observed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "expired": self.expired,
+            "worker_crashes": self.worker_crashes,
             "mean_batch_size": round(self.mean_batch_size, 2),
         }
 
@@ -102,6 +121,10 @@ class _Pending:
     config: ServingConfig
     future: "Future[BatchedResult]"
     enqueued_at: float
+    #: absolute ``time.monotonic()`` deadline, or ``None`` (no deadline).
+    #: Distinct clock from ``enqueued_at`` (perf_counter) — the two are
+    #: never compared against each other.
+    deadline: Optional[float] = None
 
 
 class DynamicBatcher:
@@ -124,25 +147,46 @@ class DynamicBatcher:
         Start the background worker immediately.  ``start=False`` leaves the
         batcher in manual mode — nothing is processed until :meth:`flush` —
         which tests use to assemble deterministic batch compositions.
+    max_queue:
+        Bound on queued (not yet popped) requests.  ``None`` (the default)
+        keeps the historical unbounded queue; production deployments should
+        set a bound — an unbounded queue converts overload into unbounded
+        latency for everyone (see :mod:`repro.resilience.admission`).
+    overload_policy:
+        What a full queue does with the next arrival: ``"reject"`` raises
+        :class:`~repro.resilience.OverloadError` from :meth:`submit`,
+        ``"shed-oldest"`` evicts the oldest queued request (failing *its*
+        future) and admits the newcomer, ``"block"`` makes the submitter
+        wait for space up to its deadline.
     """
 
     def __init__(self, recommender: Recommender,
                  config: Optional[ServingConfig] = None,
                  max_batch_size: int = 64, max_wait_ms: float = 2.0,
-                 start: bool = True):
+                 start: bool = True, max_queue: Optional[int] = None,
+                 overload_policy: str = "reject"):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if overload_policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"overload_policy must be one of {ADMISSION_POLICIES}, "
+                f"got {overload_policy!r}")
         self.recommender = recommender
         self.config = config if config is not None else recommender.config
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
+        self.overload_policy = overload_policy
         self._queue: Deque[_Pending] = deque()
         self._wake = threading.Condition(threading.Lock())
         self._closed = False
         self._stats = BatcherStats()
         self._worker: Optional[threading.Thread] = None
+        self._worker_error: Optional[BaseException] = None
         if start:
             self.start()
 
@@ -186,15 +230,35 @@ class DynamicBatcher:
         with self._wake:
             return self._closed
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (not yet popped into a batch)."""
+        with self._wake:
+            return len(self._queue)
+
+    @property
+    def worker_error(self) -> Optional[BaseException]:
+        """The exception that killed the worker thread, if it died."""
+        with self._wake:
+            return self._worker_error
+
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
     def submit(self, sequence: Sequence[int], k: Optional[int] = None,
                exclude_seen: Optional[bool] = None,
-               backend: Optional[str] = None) -> "Future[BatchedResult]":
+               backend: Optional[str] = None,
+               deadline: Optional[float] = None) -> "Future[BatchedResult]":
         """Enqueue one request; returns a future resolving to
         :class:`BatchedResult`.  Overrides are validated here, in the caller's
-        thread, so a bad request can never poison a shared batch."""
+        thread, so a bad request can never poison a shared batch.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp: a
+        request still queued when it passes is failed with
+        :class:`~repro.resilience.DeadlineExceeded` at dequeue instead of
+        being scored for a caller who already gave up.  With a bounded
+        queue, a full queue applies the configured overload policy here.
+        """
         enqueued_at = time.perf_counter()
         config = self.config.with_overrides(k=k, exclude_seen=exclude_seen,
                                             backend=backend)
@@ -202,7 +266,9 @@ class DynamicBatcher:
         with self._wake:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed batcher")
-            self._queue.append(_Pending(sequence, config, future, enqueued_at))
+            self._admit_locked(deadline)
+            self._queue.append(_Pending(sequence, config, future, enqueued_at,
+                                        deadline))
             self._stats.submitted += 1
             # Wake the worker only when its state changes: the first arrival
             # opens a tick, a full batch ends the wait window early.  Waking
@@ -211,6 +277,41 @@ class DynamicBatcher:
             if len(self._queue) == 1 or len(self._queue) >= self.max_batch_size:
                 self._wake.notify_all()
         return future
+
+    def _admit_locked(self, deadline: Optional[float]) -> None:
+        """Apply the overload policy; returns with queue space available
+        (or raises).  Caller holds the lock."""
+        if self.max_queue is None or len(self._queue) < self.max_queue:
+            return
+        if self.overload_policy == "reject":
+            self._stats.rejected += 1
+            raise OverloadError(
+                f"batcher queue is full "
+                f"({len(self._queue)}/{self.max_queue}); retry later")
+        if self.overload_policy == "shed-oldest":
+            while len(self._queue) >= self.max_queue:
+                victim = self._queue.popleft()
+                self._stats.shed += 1
+                if not victim.future.done():
+                    victim.future.set_exception(OverloadError(
+                        "shed from a full batcher queue by a newer arrival "
+                        "(shed-oldest policy); retry later"))
+            return
+        # "block": backpressure the submitter until space frees (the worker
+        # notifies on every batch pop) or its deadline passes.
+        while len(self._queue) >= self.max_queue and not self._closed:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._stats.expired += 1
+                    raise DeadlineExceeded(
+                        "deadline expired while blocked on a full batcher "
+                        "queue")
+                self._wake.wait(remaining)
+            else:
+                self._wake.wait()
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed batcher")
 
     def recommend(self, sequence: Sequence[int], k: Optional[int] = None,
                   exclude_seen: Optional[bool] = None,
@@ -246,7 +347,11 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     def _pop_batch_locked(self) -> List[_Pending]:
         take = min(len(self._queue), self.max_batch_size)
-        return [self._queue.popleft() for _ in range(take)]
+        batch = [self._queue.popleft() for _ in range(take)]
+        if take and self.max_queue is not None:
+            # space just freed: wake submitters blocked by the "block" policy
+            self._wake.notify_all()
+        return batch
 
     def _next_batch(self) -> Optional[List[_Pending]]:
         """Block until a batch is due; None means the batcher is shut down."""
@@ -270,18 +375,61 @@ class DynamicBatcher:
             return self._pop_batch_locked()
 
     def _run(self) -> None:
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                return
-            if batch:
-                self._process(batch)
+        batch: List[_Pending] = []
+        try:
+            while True:
+                batch = self._next_batch()
+                if batch is None:
+                    return
+                if batch:
+                    self._process(batch)
+                batch = []
+        except BaseException as error:  # the worker must never strand futures
+            self._abort(error, batch)
+
+    def _abort(self, error: BaseException, inflight: List[_Pending]) -> None:
+        """The worker died unexpectedly: fail every parked future with a
+        typed error (never strand a caller), record the crash, and close the
+        batcher — the service serves subsequent requests unbatched."""
+        with self._wake:
+            stranded = inflight + list(self._queue)
+            self._queue.clear()
+            self._closed = True
+            self._worker_error = error
+            self._stats.worker_crashes += 1
+            self._wake.notify_all()
+        crash = BatcherCrashed(
+            f"batcher worker thread died: {type(error).__name__}: {error}")
+        crash.__cause__ = error
+        failed = 0
+        for pending in stranded:
+            if not pending.future.done():
+                pending.future.set_exception(crash)
+                failed += 1
+        with self._wake:
+            self._stats.failed += failed
 
     def _process(self, batch: List[_Pending]) -> None:
-        """Serve one popped batch: group by policy, one topk call per group."""
+        """Serve one popped batch: group by policy, one topk call per group.
+
+        Requests whose deadline already passed are failed here, *before*
+        scoring — an expired request must never consume catalogue compute.
+        """
         started = time.perf_counter()
-        groups: Dict[Tuple[str, bool, int], List[_Pending]] = {}
+        now = time.monotonic()
+        live: List[_Pending] = []
+        expired = 0
         for pending in batch:
+            if pending.deadline is not None and now >= pending.deadline:
+                expired += 1
+                if not pending.future.done():
+                    pending.future.set_exception(DeadlineExceeded(
+                        "deadline expired while queued for batching"))
+            else:
+                live.append(pending)
+
+        groups: Dict[Tuple[str, bool, int], List[_Pending]] = {}
+        for pending in live:
             key = (pending.config.backend, pending.config.exclude_seen,
                    pending.config.overfetch_margin)
             groups.setdefault(key, []).append(pending)
@@ -294,11 +442,18 @@ class DynamicBatcher:
                 k=k_max, backend=backend, exclude_seen=exclude_seen,
                 overfetch_margin=margin,
             )
+            # The group's scoring runs under the *loosest* member deadline:
+            # a tight-deadline member must not cut short a batch-mate's
+            # still-affordable search (its own expiry was handled above).
+            deadlines = [pending.deadline for pending in members]
+            group_deadline = (max(deadlines)
+                              if all(d is not None for d in deadlines)
+                              else None)
             call_started = time.perf_counter()
             try:
                 result = self.recommender.topk(
                     [pending.sequence for pending in members],
-                    config=call_config,
+                    config=call_config, deadline=group_deadline,
                 )
             except Exception as error:  # deliver, don't kill the worker
                 failed += len(members)
@@ -321,12 +476,15 @@ class DynamicBatcher:
                     encode_ms=result.encode_ms,
                     score_ms=result.score_ms,
                     merge_ms=result.merge_ms,
+                    degraded=getattr(result, "degraded", False),
+                    shard_retries=getattr(result, "shard_retries", 0),
                 ))
 
         with self._wake:
             self._stats.ticks += 1
             self._stats.scoring_calls += scoring_calls
-            self._stats.completed += len(batch) - failed
+            self._stats.completed += len(live) - failed
             self._stats.failed += failed
+            self._stats.expired += expired
             self._stats.max_batch_observed = max(
                 self._stats.max_batch_observed, len(batch))

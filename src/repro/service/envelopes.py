@@ -21,7 +21,7 @@ class RequestError(ValueError):
 
 #: JSON keys accepted by :meth:`RecommendRequest.from_dict`
 _REQUEST_FIELDS = ("history", "k", "deployment", "backend", "score_dtype",
-                   "exclude_seen", "request_id")
+                   "exclude_seen", "request_id", "deadline_ms")
 
 
 @dataclass
@@ -51,6 +51,12 @@ class RecommendRequest:
     request_id:
         Opaque client token echoed back on the response, so responses can be
         matched to requests over a stream.
+    deadline_ms:
+        Optional end-to-end latency budget in milliseconds.  Fixed into an
+        absolute deadline at the service edge and propagated through every
+        stage (batcher queue, encode, shard scatter-gather): once it passes,
+        the request fails with a deadline error (HTTP 504) instead of
+        consuming compute its caller will discard.
     """
 
     history: Sequence[int]
@@ -60,6 +66,7 @@ class RecommendRequest:
     score_dtype: Optional[str] = None
     exclude_seen: Optional[bool] = None
     request_id: Optional[str] = None
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.history, (str, bytes)) or not isinstance(
@@ -86,6 +93,15 @@ class RecommendRequest:
             raise RequestError(
                 f"exclude_seen must be a boolean, got {self.exclude_seen!r}"
             )
+        if self.deadline_ms is not None:
+            if (isinstance(self.deadline_ms, bool)
+                    or not isinstance(self.deadline_ms, (int, float))
+                    or self.deadline_ms <= 0):
+                raise RequestError(
+                    f"deadline_ms must be a positive number, "
+                    f"got {self.deadline_ms!r}"
+                )
+            self.deadline_ms = float(self.deadline_ms)
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RecommendRequest":
@@ -113,7 +129,7 @@ class RecommendRequest:
         """JSON-serialisable form (omits unset optional fields)."""
         payload: Dict[str, Any] = {"history": list(self.history)}
         for name in ("k", "deployment", "backend", "score_dtype",
-                     "exclude_seen", "request_id"):
+                     "exclude_seen", "request_id", "deadline_ms"):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
@@ -154,6 +170,13 @@ class RecommendResponse:
     encode_ms: float = 0.0
     stages_ms: Dict[str, float] = field(default_factory=dict)
     request_id: Optional[str] = None
+    #: served through the resilience layer's degradation fallback (shard
+    #: breaker open / retries exhausted) — the top-K is still bit-identical
+    #: to the healthy sharded path, but a load balancer may want to drain
+    #: a replica answering degraded
+    degraded: bool = False
+    #: shard scatter-gather retries absorbed serving this request
+    shard_retries: int = 0
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -177,6 +200,12 @@ class RecommendResponse:
                                     for name, value in self.stages_ms.items()}
         if self.request_id is not None:
             payload["request_id"] = self.request_id
+        # degradation diagnostics are emitted only when they carry signal,
+        # keeping the healthy-path wire format unchanged
+        if self.degraded:
+            payload["degraded"] = True
+        if self.shard_retries:
+            payload["shard_retries"] = int(self.shard_retries)
         if self.extra:
             payload["extra"] = self.extra
         return payload

@@ -30,6 +30,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, TextIO
 
+from ..resilience import DeadlineExceeded, OverloadError
+from ..shard import ShardTimeout
 from .envelopes import RequestError
 from .service import RecommenderService
 
@@ -94,6 +96,18 @@ def serve_jsonl(service: RecommenderService,
             emit({"error": f"invalid JSON: {error.msg}", "request_id": request_id})
         except RequestError as error:
             emit({"error": str(error), "request_id": request_id})
+        except OverloadError as error:
+            # in-band analogue of HTTP 429: typed, with a backoff hint
+            emit({"error": str(error), "overloaded": True,
+                  "retry_after_s": error.retry_after_s,
+                  "request_id": request_id})
+        except (DeadlineExceeded, ShardTimeout) as error:
+            # in-band analogue of HTTP 504
+            emit({"error": str(error), "deadline_exceeded": True,
+                  "request_id": request_id})
+        except Exception as error:  # noqa: BLE001 — the loop must survive
+            emit({"error": f"internal error: {error}",
+                  "internal": True, "request_id": request_id})
     service.close()
     return 0
 
@@ -128,17 +142,21 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         }
         print(json.dumps(entry, sort_keys=True), file=sys.stderr, flush=True)
 
-    def _send_body(self, body: bytes, content_type: str, status: int) -> None:
+    def _send_body(self, body: bytes, content_type: str, status: int,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         self._access_log(status)
 
-    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+    def _send_json(self, payload: Dict[str, Any], status: int = 200,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         self._send_body(json.dumps(payload).encode("utf-8"),
-                        "application/json", status)
+                        "application/json", status, headers=headers)
 
     def _send_text(self, text: str, content_type: str,
                    status: int = 200) -> None:
@@ -158,6 +176,12 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         self._request_started = time.perf_counter()
+        try:
+            self._route_get()
+        except Exception as error:  # noqa: BLE001 — never a raw traceback
+            self._send_json({"error": f"internal error: {error}"}, status=500)
+
+    def _route_get(self) -> None:
         service = self.server.service
         if self.path == "/stats":
             self._send_json(service.stats())
@@ -171,6 +195,15 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
                                 status=404)
             else:
                 self._send_text(text, METRICS_CONTENT_TYPE)
+        elif self.path == "/livez":
+            # liveness: the process answers — period.  A replica serving
+            # degraded (breaker open) is alive; restarting it would only
+            # lose the warmed fallback.  Readiness is the probe that drops.
+            self._send_json({"ok": True, "uptime_s": service.uptime_s})
+        elif self.path == "/readyz":
+            report = service.readiness()
+            report["ok"] = report["ready"]
+            self._send_json(report, status=200 if report["ready"] else 503)
         elif self.path in ("/", "/healthz"):
             # `ok` and the deployment *count* are the PR-4 contract keys;
             # name/version/uptime let an orchestrator watch a hot-swap land.
@@ -203,6 +236,18 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
                 self._send_json(service.recommend(payload).to_dict())
         except RequestError as error:
             self._send_json({"error": str(error)}, status=400)
+        except OverloadError as error:
+            # shed by admission control: tell the client when to come back
+            self._send_json(
+                {"error": str(error), "overloaded": True},
+                status=429,
+                headers={"Retry-After":
+                         str(max(1, int(round(error.retry_after_s))))})
+        except (DeadlineExceeded, ShardTimeout) as error:
+            self._send_json({"error": str(error), "deadline_exceeded": True},
+                            status=504)
+        except Exception as error:  # noqa: BLE001 — never a raw traceback
+            self._send_json({"error": f"internal error: {error}"}, status=500)
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):

@@ -17,6 +17,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from ..observability.metrics import (BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_MS,
                                      MetricsRegistry)
 from ..observability.tracing import RequestTrace
+from ..resilience import (BREAKER_STATE_CODES, BatcherCrashed,
+                          DeadlineExceeded, InflightGate, OverloadError,
+                          deadline_from_budget_ms)
 from .batcher import BatchedResult, DynamicBatcher
 from .envelopes import RecommendRequest, RecommendResponse, RequestError
 from .registry import Deployment, ModelRegistry
@@ -52,17 +55,36 @@ class RecommenderService:
         measures against).  Instrumentation is event-level only (timer
         reads around whole requests and stages), never inside the scoring
         hot loops, so the bit-identity of served results is untouched.
+    max_queue / overload_policy:
+        Admission control for every per-deployment batcher: bound the queue
+        at ``max_queue`` waiting requests and apply ``overload_policy``
+        (``"reject"`` sheds the arriving request with an
+        :class:`~repro.resilience.OverloadError` — HTTP 429; ``"shed-oldest"``
+        evicts the stalest queued request instead; ``"block"`` makes the
+        submitting caller wait for space, honouring its deadline).
+        ``max_queue=None`` (the default) keeps the unbounded PR-5 behaviour.
+    max_inflight:
+        Service-edge concurrency cap (an :class:`~repro.resilience.InflightGate`
+        across *all* deployments, batched and unbatched paths alike).
+        Arrivals beyond it shed immediately with :class:`OverloadError`;
+        ``None`` disables the gate.
     """
 
     def __init__(self, registry: Optional[ModelRegistry] = None,
                  batching: bool = True, max_batch_size: int = 64,
                  max_wait_ms: float = 2.0, autostart_batchers: bool = True,
-                 metrics: Union[MetricsRegistry, None, bool] = None):
+                 metrics: Union[MetricsRegistry, None, bool] = None,
+                 max_queue: Optional[int] = None,
+                 overload_policy: str = "reject",
+                 max_inflight: Optional[int] = None):
         self.registry = registry if registry is not None else ModelRegistry()
         self.batching = batching
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.autostart_batchers = autostart_batchers
+        self.max_queue = max_queue
+        self.overload_policy = overload_policy
+        self._gate = InflightGate(max_inflight)
         self._lock = threading.Lock()
         self._batchers: Dict[Tuple[str, int], DynamicBatcher] = {}
         # Tombstones for reloaded/retired deployment versions: a request that
@@ -71,6 +93,8 @@ class RecommenderService:
         self._retired_batchers: set = set()
         self._requests_served = 0
         self._request_errors = 0
+        self._requests_shed = 0
+        self._deadline_expired = 0
         self._started_at = time.perf_counter()
         self._closed = False
         if metrics is False:
@@ -127,6 +151,29 @@ class RecommenderService:
             "repro_batcher_requests", "Per-batcher request counters, by "
             "deployment, version and counter name.",
             labelnames=("deployment", "version", "counter"))
+        self._m_shed = registry.counter(
+            "repro_requests_shed_total", "Requests shed by admission "
+            "control (bounded batcher queue or the in-flight gate); each "
+            "was answered HTTP 429 with Retry-After, never queued into "
+            "collapse.", labelnames=("deployment",))
+        self._m_deadline = registry.counter(
+            "repro_deadline_expired_total", "Requests whose deadline_ms "
+            "budget expired before completion (HTTP 504).",
+            labelnames=("deployment",))
+        self._g_queue_depth = registry.gauge(
+            "repro_queue_depth", "Requests waiting in each batcher queue "
+            "at scrape time.", labelnames=("deployment", "version"))
+        self._g_breaker = registry.gauge(
+            "repro_breaker_state", "Shard-pool circuit-breaker state "
+            "(0 closed / 1 half-open / 2 open).",
+            labelnames=("deployment",))
+        self._g_shard_retries = registry.gauge(
+            "repro_shard_retries_total", "Shard scatter-gather retries "
+            "absorbed by the resilience guard.", labelnames=("deployment",))
+        self._g_degraded = registry.gauge(
+            "repro_degraded_requests_total", "Shard searches served through "
+            "the bit-identical in-process degradation fallback.",
+            labelnames=("deployment",))
         # Hot-path handle cache: labels() is a validating get-or-create
         # (sorting, schema check, lock) — ~5x the cost of the update it
         # guards.  One resolved bundle per deployment keeps the per-request
@@ -188,6 +235,8 @@ class RecommenderService:
                     max_batch_size=self.max_batch_size,
                     max_wait_ms=self.max_wait_ms,
                     start=self.autostart_batchers,
+                    max_queue=self.max_queue,
+                    overload_policy=self.overload_policy,
                 )
             return self._batchers[key]
 
@@ -196,15 +245,55 @@ class RecommenderService:
     # ------------------------------------------------------------------ #
     def recommend(self, request: Union[RecommendRequest, Dict[str, Any]],
                   timeout: Optional[float] = None) -> RecommendResponse:
-        """Serve one request (blocking until its batch is scored)."""
+        """Serve one request (blocking until its batch is scored).
+
+        Admission and deadline enforcement happen here, at the edge: the
+        in-flight gate sheds arrivals beyond ``max_inflight`` with
+        :class:`~repro.resilience.OverloadError`, and ``request.deadline_ms``
+        is fixed into one absolute monotonic deadline that every later stage
+        (batcher queue, encode, shard search) checks.
+        """
         trace = self._open_trace()
-        if trace is None:
-            return self._serve(self._coerce(request), timeout)
         coerced = self._coerce(request)
-        # validate is the first stage, so elapsed-since-open IS its duration
-        # (cheaper than a context manager on the per-request path).
-        trace.record("validate", trace.elapsed_ms())
-        return self._serve(coerced, timeout, trace)
+        if trace is not None:
+            # validate is the first stage, so elapsed-since-open IS its
+            # duration (cheaper than a context manager on the request path).
+            trace.record("validate", trace.elapsed_ms())
+        deadline = (deadline_from_budget_ms(coerced.deadline_ms)
+                    if coerced.deadline_ms is not None else None)
+        self._admit(coerced.deployment)
+        try:
+            return self._serve(coerced, timeout, trace, deadline=deadline)
+        except OverloadError:
+            self._count_shed(coerced.deployment)
+            raise
+        except DeadlineExceeded:
+            self._count_deadline(coerced.deployment)
+            raise
+        finally:
+            self._gate.release()
+
+    def _admit(self, deployment: Optional[str]) -> None:
+        """Acquire an in-flight slot or shed (counted, then re-raised)."""
+        try:
+            self._gate.acquire()
+        except OverloadError:
+            self._count_shed(deployment)
+            raise
+
+    def _count_shed(self, deployment: Optional[str]) -> None:
+        with self._lock:
+            self._requests_shed += 1
+        if self.metrics is not None:
+            self._m_shed.labels(
+                deployment=deployment or "default").inc()
+
+    def _count_deadline(self, deployment: Optional[str]) -> None:
+        with self._lock:
+            self._deadline_expired += 1
+        if self.metrics is not None:
+            self._m_deadline.labels(
+                deployment=deployment or "default").inc()
 
     def _open_trace(self) -> Optional[RequestTrace]:
         """A fresh per-request trace, or ``None`` when instrumentation is
@@ -245,24 +334,44 @@ class RecommenderService:
             except (ValueError, TypeError) as error:
                 self._count_error(deployment.name)
                 raise RequestError(str(error)) from None
-            resolved.append((request, deployment, trace))
+            deadline = (deadline_from_budget_ms(request.deadline_ms)
+                        if request.deadline_ms is not None else None)
+            resolved.append((request, deployment, trace, deadline))
         if not self.batching:
-            return [self._serve_resolved(request, deployment, timeout, trace)
-                    for request, deployment, trace in resolved]
+            return [self._serve_resolved(request, deployment, timeout, trace,
+                                         deadline=deadline)
+                    for request, deployment, trace, deadline in resolved]
         submitted = []
-        for request, deployment, trace in resolved:
+        for request, deployment, trace, deadline in resolved:
             future = None
             if request.score_dtype is None:
-                future = self._submit(request, deployment)
-            submitted.append((request, deployment, trace, future))
+                try:
+                    future = self._submit(request, deployment,
+                                          deadline=deadline)
+                except OverloadError:
+                    self._count_shed(request.deployment)
+                    raise
+                except DeadlineExceeded:
+                    self._count_deadline(request.deployment)
+                    raise
+            submitted.append((request, deployment, trace, deadline, future))
         responses = []
-        for request, deployment, trace, future in submitted:
+        for request, deployment, trace, deadline, future in submitted:
             if future is None:
                 responses.append(self._serve_direct(request, deployment,
-                                                    trace))
+                                                    trace, deadline=deadline))
             else:
+                try:
+                    result = future.result(timeout)
+                except DeadlineExceeded:
+                    self._count_deadline(request.deployment)
+                    raise
+                except OverloadError:
+                    # its queue slot was shed by a later arrival
+                    self._count_shed(request.deployment)
+                    raise
                 responses.append(self._to_response(
-                    request, deployment, future.result(timeout), trace))
+                    request, deployment, result, trace))
         return responses
 
     def _coerce(self, request: Union[RecommendRequest, Dict[str, Any]]
@@ -279,13 +388,18 @@ class RecommenderService:
             self._count_error()
             raise RequestError(str(error).strip('"')) from None
 
-    def _submit(self, request: RecommendRequest, deployment: Deployment):
+    def _submit(self, request: RecommendRequest, deployment: Deployment,
+                deadline: Optional[float] = None):
         """Enqueue one request on the deployment's batcher.
 
         Returns ``None`` when the request must be served unbatched instead:
-        the deployment version was retired by a concurrent reload, or its
-        batcher closed between lookup and submit.  Invalid overrides surface
-        as :class:`RequestError` here, in the caller's thread.
+        the deployment version was retired by a concurrent reload, its
+        batcher closed between lookup and submit, or the batcher's worker
+        thread died (a crashed batcher refuses new work; direct serving
+        keeps the deployment answering).  Invalid overrides surface as
+        :class:`RequestError` here, in the caller's thread; a full bounded
+        queue surfaces the admission policy's :class:`OverloadError` or,
+        for the ``block`` policy, :class:`DeadlineExceeded`.
         """
         batcher = self._batcher_for(deployment)
         if batcher is None:
@@ -293,35 +407,51 @@ class RecommenderService:
         try:
             return batcher.submit(request.history, k=request.k,
                                   exclude_seen=request.exclude_seen,
-                                  backend=request.backend)
+                                  backend=request.backend,
+                                  deadline=deadline)
         except ValueError as error:
             self._count_error()
             raise RequestError(str(error)) from None
-        except RuntimeError:  # closed by a concurrent reload/retire
+        except (OverloadError, DeadlineExceeded):
+            raise
+        except RuntimeError:  # closed by a concurrent reload/retire/crash
             return None
 
     def _serve(self, request: RecommendRequest, timeout: Optional[float],
-               trace: Optional[RequestTrace] = None) -> RecommendResponse:
+               trace: Optional[RequestTrace] = None, *,
+               deadline: Optional[float] = None) -> RecommendResponse:
         deployment = self._resolve(request)
-        return self._serve_resolved(request, deployment, timeout, trace)
+        return self._serve_resolved(request, deployment, timeout, trace,
+                                    deadline=deadline)
 
     def _serve_resolved(self, request: RecommendRequest,
                         deployment: Deployment, timeout: Optional[float],
-                        trace: Optional[RequestTrace] = None
+                        trace: Optional[RequestTrace] = None, *,
+                        deadline: Optional[float] = None
                         ) -> RecommendResponse:
         if not self.batching or request.score_dtype is not None:
             # dtype-overridden requests score through a per-dtype sibling
             # recommender; they cannot share the default-dtype batch.
-            return self._serve_direct(request, deployment, trace)
-        future = self._submit(request, deployment)
+            return self._serve_direct(request, deployment, trace,
+                                      deadline=deadline)
+        future = self._submit(request, deployment, deadline=deadline)
         if future is None:
-            return self._serve_direct(request, deployment, trace)
-        return self._to_response(request, deployment, future.result(timeout),
-                                 trace)
+            return self._serve_direct(request, deployment, trace,
+                                      deadline=deadline)
+        try:
+            result = future.result(timeout)
+        except BatcherCrashed:
+            # the worker thread died under this request — score it directly
+            # (the crashed batcher refuses new submits, so later requests
+            # take the direct path without paying this exception)
+            return self._serve_direct(request, deployment, trace,
+                                      deadline=deadline)
+        return self._to_response(request, deployment, result, trace)
 
     def _serve_direct(self, request: RecommendRequest,
                       deployment: Deployment,
-                      trace: Optional[RequestTrace] = None
+                      trace: Optional[RequestTrace] = None, *,
+                      deadline: Optional[float] = None
                       ) -> RecommendResponse:
         """Unbatched path: one topk call for this request alone."""
         try:
@@ -332,7 +462,8 @@ class RecommenderService:
                 score_dtype=recommender.config.score_dtype,
             )
             started = time.perf_counter()
-            result = recommender.topk([request.history], config=config)
+            result = recommender.topk([request.history], config=config,
+                                      deadline=deadline)
         except (ValueError, TypeError) as error:
             self._count_error(deployment.name)
             raise RequestError(str(error)) from None
@@ -343,6 +474,7 @@ class RecommenderService:
             queue_ms=0.0, compute_ms=compute_ms, batch_size=1,
             engine=result.engine, encode_ms=result.encode_ms,
             score_ms=result.score_ms, merge_ms=result.merge_ms,
+            degraded=result.degraded, shard_retries=result.shard_retries,
         )
         return self._to_response(request, deployment, batched, trace)
 
@@ -378,6 +510,8 @@ class RecommenderService:
             encode_ms=result.encode_ms,
             stages_ms=stages,
             request_id=request.request_id,
+            degraded=result.degraded,
+            shard_retries=result.shard_retries,
         )
 
     def _handles_for(self, deployment: str) -> Tuple[Any, ...]:
@@ -450,7 +584,8 @@ class RecommenderService:
         self._g_deployments.set(len(self.registry))
         for family in (self._g_version, self._g_cache_hit,
                        self._g_shard_restarts, self._g_shard_timeouts,
-                       self._g_batcher):
+                       self._g_batcher, self._g_queue_depth, self._g_breaker,
+                       self._g_shard_retries, self._g_degraded):
             family.clear()
         for deployment in self.registry.list():
             name = deployment.name
@@ -466,15 +601,29 @@ class RecommenderService:
                     float(shard.get("restarts", 0)))
                 self._g_shard_timeouts.labels(deployment=name).set(
                     float(shard.get("timeouts", 0)))
+                state = shard.get("breaker_state")
+                if state in BREAKER_STATE_CODES:
+                    self._g_breaker.labels(deployment=name).set(
+                        float(BREAKER_STATE_CODES[state]))
+                if "retries" in shard:
+                    self._g_shard_retries.labels(deployment=name).set(
+                        float(shard.get("retries", 0)))
+                if "degraded_requests" in shard:
+                    self._g_degraded.labels(deployment=name).set(
+                        float(shard.get("degraded_requests", 0)))
         with self._lock:
             batchers = dict(self._batchers)
         for (name, version), batcher in batchers.items():
             counters = batcher.stats().to_dict()
             for counter in ("submitted", "completed", "failed",
-                            "scoring_calls", "max_batch_observed"):
+                            "scoring_calls", "max_batch_observed",
+                            "rejected", "shed", "expired", "worker_crashes"):
                 self._g_batcher.labels(
                     deployment=name, version=str(version),
                     counter=counter).set(float(counters[counter]))
+            self._g_queue_depth.labels(
+                deployment=name, version=str(version)).set(
+                    float(batcher.queue_depth))
 
     def render_metrics(self) -> Optional[str]:
         """The Prometheus text exposition (``GET /metrics``), or ``None``
@@ -492,6 +641,34 @@ class RecommenderService:
         self.collect_metrics()
         return self.metrics.snapshot()
 
+    def readiness(self) -> Dict[str, Any]:
+        """Readiness report for the ``/readyz`` probe.
+
+        A replica is *ready* while no deployment's shard-pool circuit
+        breaker is open — an open breaker means sharded searches are being
+        served through the in-process degradation fallback (still correct,
+        still HTTP 200, but a load balancer may prefer healthy replicas).
+        Liveness is deliberately separate (``/livez``): a degraded replica
+        must not be restarted, only deprioritised.
+        """
+        deployments: Dict[str, Any] = {}
+        ready = True
+        for deployment in self.registry.list():
+            shard = deployment.recommender.shard_stats()
+            state = (shard.get("breaker_state")
+                     if isinstance(shard, dict) else None)
+            breaker_open = state == "open"
+            report: Dict[str, Any] = {
+                "breaker_state": state if state is not None else "none",
+                "breaker_open": breaker_open,
+                "degraded_requests": int(shard.get("degraded_requests", 0))
+                if isinstance(shard, dict) else 0,
+            }
+            deployments[deployment.name] = report
+            if breaker_open:
+                ready = False
+        return {"ready": ready, "deployments": deployments}
+
     def stats(self) -> Dict[str, Any]:
         """JSON-serialisable service counters, per-deployment batcher stats
         and the metrics-registry snapshot included."""
@@ -499,10 +676,15 @@ class RecommenderService:
             batchers = dict(self._batchers)
             served = self._requests_served
             errors = self._request_errors
+            shed = self._requests_shed
+            deadline_expired = self._deadline_expired
         return {
             "uptime_s": self.uptime_s,
             "requests_served": served,
             "request_errors": errors,
+            "requests_shed": shed,
+            "deadline_expired": deadline_expired,
+            "inflight": self._gate.inflight,
             "batching": self.batching,
             "deployments": self.registry.describe(),
             "batchers": {

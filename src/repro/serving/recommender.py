@@ -31,7 +31,8 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
@@ -39,6 +40,8 @@ from ..data.dataloader import pad_sequences
 from ..index import ItemIndex, build_index
 from ..index.base import topk_best_first
 from ..infer import InferenceEngine, UnsupportedModelError
+from ..resilience.deadline import expired, remaining_s
+from ..resilience.errors import DeadlineExceeded
 from ..training.evaluation import inference_catalogue_scores
 from .config import SERVING_BACKENDS, ServingConfig, resolve_config
 from .store import EmbeddingStore
@@ -81,6 +84,12 @@ class TopKResult:
     encode_ms: float = 0.0
     score_ms: float = 0.0
     merge_ms: float = 0.0
+    #: True when the sharded retrieval was served by the resilience layer's
+    #: in-process fallback (breaker open / retries exhausted) instead of the
+    #: worker pool — results are still bit-identical by the parity contract
+    degraded: bool = False
+    #: shard scatter-gather retries absorbed by this call
+    shard_retries: int = 0
 
     def __len__(self) -> int:
         return self.items.shape[0]
@@ -385,7 +394,16 @@ class Recommender:
         memmap, or an in-process :class:`~repro.shard.LocalShardClient`).
         :meth:`refresh_item_matrix` closes and drops it, so the next
         sharded request re-shards the new catalogue generation.
+
+        A process pool comes wrapped in a
+        :class:`~repro.resilience.ResilientShardClient`: worker crashes are
+        retried once (idempotent by the merge contract), sustained failure
+        trips a circuit breaker, and while the pool is refused the search
+        degrades to a :class:`~repro.shard.LocalShardClient` over the same
+        matrix — bit-identical results, ``degraded=True`` diagnostics.
         """
+        from ..resilience import (CircuitBreaker, ResilientShardClient,
+                                  RetryPolicy)
         from ..shard import LocalShardClient, ShardPool
 
         self._sync_generation()
@@ -393,9 +411,17 @@ class Recommender:
             if self._shard_client is None:
                 matrix = self.item_matrix()
                 if self.config.shard_backend == "process":
-                    self._shard_client = ShardPool.from_matrix(
+                    pool = ShardPool.from_matrix(
                         matrix, self.config.shards, transport="memmap",
                         index_params=self.index_params)
+                    self._shard_client = ResilientShardClient(
+                        pool,
+                        fallback_factory=lambda matrix=matrix: LocalShardClient(
+                            matrix, self.config.shards,
+                            index_params=self.index_params),
+                        retry=RetryPolicy(max_retries=1, base_backoff_ms=20.0,
+                                          seed=0),
+                        breaker=CircuitBreaker())
                 else:
                     self._shard_client = LocalShardClient(
                         matrix, self.config.shards,
@@ -602,7 +628,8 @@ class Recommender:
     # ------------------------------------------------------------------ #
     def topk(self, sequences: Sequence[Sequence[int]], k: Optional[int] = None,
              exclude_seen: Optional[bool] = None, backend: Optional[str] = None,
-             *, config: Optional[ServingConfig] = None) -> TopKResult:
+             *, config: Optional[ServingConfig] = None,
+             deadline: Optional[float] = None) -> TopKResult:
         """Batched top-K recommendations for a batch of request histories.
 
         The serving policy comes from ``config`` (a
@@ -630,7 +657,17 @@ class Recommender:
         can still drop every history item from the candidates.  Cold requests
         (and any row the over-fetch cannot fill) transparently use the exact
         path.
+
+        ``deadline`` (an absolute :func:`time.monotonic` timestamp, see
+        :mod:`repro.resilience.deadline`) bounds the call: it is checked on
+        entry and again between encode and shard search, and the remaining
+        budget clamps the shard pool's per-search timeout, so a request whose
+        caller has already given up never consumes scatter-gather compute.
+        An exceeded deadline raises
+        :class:`~repro.resilience.DeadlineExceeded`.
         """
+        if deadline is not None and expired(deadline):
+            raise DeadlineExceeded("deadline expired before scoring began")
         if exclude_seen is not None or backend is not None:
             warnings.warn(
                 "passing exclude_seen=/backend= to Recommender.topk is "
@@ -677,10 +714,12 @@ class Recommender:
             )
         if config.backend != "exact":
             if self.config.shards > 1:
-                return self._topk_with_index_sharded(sequences, config)
+                return self._topk_with_index_sharded(sequences, config,
+                                                     deadline=deadline)
             return self._topk_with_index(sequences, config)
         if self.config.shards > 1:
-            return self._topk_exact_sharded(sequences, config)
+            return self._topk_exact_sharded(sequences, config,
+                                            deadline=deadline)
         return self._topk_exact(sequences, config)
 
     def _topk_exact(self, sequences: Sequence[Sequence[int]],
@@ -711,8 +750,42 @@ class Recommender:
                           score_ms=round(score_ms, 3),
                           merge_ms=round(merge_ms, 3))
 
+    def _shard_search(self, users: np.ndarray, k: int, *,
+                      exclude: Sequence[Sequence[int]], backend: str,
+                      overfetch: int = 0,
+                      deadline: Optional[float] = None,
+                      ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Scatter a warm search with deadline clamping and degradation info.
+
+        Checks the deadline *after* encode (the caller runs this right before
+        the scatter), clamps the shard pool's per-search timeout to the
+        remaining budget, and normalises the two client surfaces: a
+        :class:`~repro.resilience.ResilientShardClient` reports per-call
+        degradation info through ``search_ex``, a bare
+        :class:`~repro.shard.LocalShardClient` has neither timeouts nor a
+        degraded mode.
+        """
+        client = self.shard_client()
+        remaining: Optional[float] = None
+        if deadline is not None:
+            remaining = remaining_s(deadline)
+            if remaining <= 0.0:
+                raise DeadlineExceeded(
+                    "deadline expired before the shard search")
+        if hasattr(client, "search_ex"):
+            kwargs: Dict[str, Any] = {}
+            if remaining is not None:
+                kwargs["timeout"] = remaining
+            return client.search_ex(users, k, exclude=exclude,
+                                    backend=backend, overfetch=overfetch,
+                                    **kwargs)
+        items, scores = client.search(users, k, exclude=exclude,
+                                      backend=backend, overfetch=overfetch)
+        return items, scores, {}
+
     def _topk_exact_sharded(self, sequences: Sequence[Sequence[int]],
-                            config: ServingConfig) -> TopKResult:
+                            config: ServingConfig, *,
+                            deadline: Optional[float] = None) -> TopKResult:
         """Exact retrieval scattered over the shard client.
 
         Warm rows are encoded once (same batch, same engine as the dense
@@ -732,6 +805,7 @@ class Recommender:
         timing: Dict[str, float] = {"ms": 0.0}
         score_ms = 0.0
         merge_ms = 0.0
+        shard_info: Dict[str, Any] = {}
         warm_rows = np.flatnonzero(~cold)
         if warm_rows.size:
             score_started = time.perf_counter()
@@ -747,8 +821,9 @@ class Recommender:
             # The scatter-gather call covers per-shard scoring *and* the
             # top-K merge in one round trip; it is accounted to the score
             # stage (the merge stage covers in-process assembly only).
-            warm_items, warm_scores = self.shard_client().search(
-                np.asarray(users), k, exclude=exclude, backend="exact")
+            warm_items, warm_scores, shard_info = self._shard_search(
+                np.asarray(users), k, exclude=exclude, backend="exact",
+                deadline=deadline)
             merge_started = time.perf_counter()
             items[warm_rows] = warm_items
             scores[warm_rows] = warm_scores.astype(self.dtype, copy=False)
@@ -779,10 +854,14 @@ class Recommender:
                           engine=self._engine_label(config.engine),
                           encode_ms=round(timing["ms"], 3),
                           score_ms=round(score_ms, 3),
-                          merge_ms=round(merge_ms, 3))
+                          merge_ms=round(merge_ms, 3),
+                          degraded=bool(shard_info.get("degraded", False)),
+                          shard_retries=int(shard_info.get("retries", 0)))
 
     def _topk_with_index_sharded(self, sequences: Sequence[Sequence[int]],
-                                 config: ServingConfig) -> TopKResult:
+                                 config: ServingConfig, *,
+                                 deadline: Optional[float] = None
+                                 ) -> TopKResult:
         """ANN retrieval through per-shard indexes in the shard client.
 
         Mirrors :meth:`_topk_with_index` semantics — over-fetch, filter the
@@ -801,6 +880,7 @@ class Recommender:
         encode_timing: Dict[str, float] = {"ms": 0.0}
         score_ms = 0.0
         merge_ms = 0.0
+        shard_info: Dict[str, Any] = {}
         if warm_rows.size:
             score_started = time.perf_counter()
             encode, encode_timing = self._encoder(config.engine)
@@ -809,9 +889,9 @@ class Recommender:
                                                             copy=False)
             exclude = [histories[row] if config.exclude_seen else []
                        for row in warm_rows]
-            warm_items, warm_scores = self.shard_client().search(
+            warm_items, warm_scores, shard_info = self._shard_search(
                 users, k, exclude=exclude, backend=config.backend,
-                overfetch=config.overfetch_margin)
+                overfetch=config.overfetch_margin, deadline=deadline)
             merge_started = time.perf_counter()
             for local, row in enumerate(warm_rows):
                 if warm_items.shape[1] < k or np.any(warm_items[local] < 0):
@@ -824,22 +904,29 @@ class Recommender:
                             - encode_timing["ms"])
             merge_ms += (time.perf_counter() - merge_started) * 1000.0
 
+        degraded = bool(shard_info.get("degraded", False))
+        shard_retries = int(shard_info.get("retries", 0))
         if exact_rows:
             rows = sorted(exact_rows)
             fallback = self._topk_exact_sharded(
                 [sequences[row] for row in rows],
                 config.with_overrides(backend="exact"),
+                deadline=deadline,
             )
             items[rows] = fallback.items
             scores[rows] = fallback.scores
             encode_timing["ms"] += fallback.encode_ms
             score_ms += fallback.score_ms
             merge_ms += fallback.merge_ms
+            degraded = degraded or fallback.degraded
+            shard_retries += fallback.shard_retries
         return TopKResult(items=items, scores=scores, cold=cold,
                           engine=self._engine_label(config.engine),
                           encode_ms=round(encode_timing["ms"], 3),
                           score_ms=round(score_ms, 3),
-                          merge_ms=round(merge_ms, 3))
+                          merge_ms=round(merge_ms, 3),
+                          degraded=degraded,
+                          shard_retries=shard_retries)
 
     def _topk_with_index(self, sequences: Sequence[Sequence[int]],
                          config: ServingConfig) -> TopKResult:

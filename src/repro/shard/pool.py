@@ -148,6 +148,11 @@ class ShardPool(ShardClient):
         self._seq = 0
         self._restarts = 0
         self._timeouts = 0
+        # Deterministic fault injection (test/bench hook): a FaultPlan-shaped
+        # object consulted once per search by 0-based search index.  ``None``
+        # (the default) costs one attribute check per search.
+        self._fault_plan = None
+        self._search_index = 0
         self._state: Dict[str, Any] = {
             "closed": False, "segment": segment, "owned_dir": owned_dir,
             "processes": [None] * len(self.ranges),
@@ -231,18 +236,29 @@ class ShardPool(ShardClient):
     def search(self, queries: np.ndarray, k: int, *,
                exclude: Optional[Sequence[Sequence[int]]] = None,
                backend: str = "exact",
-               overfetch: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+               overfetch: int = 0,
+               timeout: Optional[float] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scatter-gather one search.  ``timeout`` (seconds) tightens the
+        pool's own per-search deadline for this call only — deadline
+        propagation hands the request's remaining budget down here, and a
+        per-call value can never *extend* the configured timeout."""
         self._check_open()
         queries = np.ascontiguousarray(queries)
         exclude = split_exclude(exclude, queries.shape[0])
         payload = {"queries": queries, "k": int(k), "exclude": exclude,
                    "backend": str(backend), "overfetch": int(overfetch)}
         self._ensure_workers()
+        budget = self.timeout if timeout is None else min(
+            self.timeout, max(0.0, float(timeout)))
+        skip = self._inject_faults()
         seq = self._next_seq()
         for shard in range(self.num_shards):
+            if shard in skip:
+                continue
             self._send(shard, ("search", seq, payload))
-        deadline = time.monotonic() + self.timeout
-        parts = [self._gather(shard, seq, deadline)
+        deadline = time.monotonic() + budget
+        parts = [self._gather(shard, seq, deadline, budget)
                  for shard in range(self.num_shards)]
         return merge_topk(parts, k)
 
@@ -253,9 +269,9 @@ class ShardPool(ShardClient):
         seq = self._next_seq()
         for shard in range(self.num_shards):
             self._send(shard, ("ping", seq, None))
-        deadline = time.monotonic() + (self.timeout if timeout is None
-                                       else timeout)
-        return [self._gather(shard, seq, deadline)
+        budget = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        return [self._gather(shard, seq, deadline, budget)
                 for shard in range(self.num_shards)]
 
     def stats(self) -> Dict[str, Any]:
@@ -351,16 +367,19 @@ class ShardPool(ShardClient):
         except (OSError, ValueError, BrokenPipeError):
             raise self._crashed(shard) from None
 
-    def _gather(self, shard: int, seq: int, deadline: float):
+    def _gather(self, shard: int, seq: int, deadline: float,
+                budget: Optional[float] = None):
         """Receive the reply stamped ``seq`` from ``shard``, draining stale
         replies left over from timed-out earlier requests."""
         conn = self._state["conns"][shard]
+        if budget is None:
+            budget = self.timeout
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0 or not conn.poll(max(0.0, remaining)):
                 self._timeouts += 1
                 raise ShardTimeout(
-                    f"shard {shard} did not reply within {self.timeout:.1f}s")
+                    f"shard {shard} did not reply within {budget:.1f}s")
             try:
                 status, reply_seq, result = conn.recv()
             except (EOFError, OSError):
@@ -370,6 +389,45 @@ class ShardPool(ShardClient):
             if status == "error":
                 raise ShardError(f"shard {shard} failed: {result}")
             return result
+
+    # ------------------------------------------------------------------ #
+    # Deterministic fault injection (test/bench hook)
+    # ------------------------------------------------------------------ #
+    def set_fault_plan(self, plan) -> None:
+        """Attach a :class:`repro.resilience.FaultPlan` (or ``None`` to
+        detach).  Consulted once per :meth:`search`, keyed by the 0-based
+        search index, before the scatter — so the same plan over the same
+        request stream injects the same faults at the same points."""
+        self._fault_plan = plan
+        self._search_index = 0
+
+    def _inject_faults(self) -> set:
+        """Fire this search's scheduled faults; returns shards whose scatter
+        send must be skipped (the ``drop`` kind)."""
+        skip: set = set()
+        if self._fault_plan is None:
+            return skip
+        index, self._search_index = self._search_index, self._search_index + 1
+        for action in self._fault_plan.actions_for(index):
+            shard = action.shard % self.num_shards
+            if action.kind == "kill":
+                # SIGKILL before the scatter: the send (or gather) sees the
+                # broken pipe and raises WorkerCrashed, as an OOM kill would.
+                process = self._state["processes"][shard]
+                if process is not None and process.is_alive():
+                    process.kill()
+                    process.join(timeout=5.0)
+            elif action.kind == "delay":
+                # The worker loop is serial: a sleep op queued ahead of the
+                # search delays (only) this shard's reply; the sleep's own
+                # reply is drained as stale by sequence number.
+                self._send(shard, ("sleep", self._next_seq(),
+                                   float(action.delay_s)))
+            elif action.kind == "drop":
+                # Never scatter to this shard: its gather times out, as a
+                # blackholed reply would.
+                skip.add(shard)
+        return skip
 
     # Test hook: fire an op at one worker without waiting for the reply.
     def _post(self, shard: int, op: str, payload=None) -> int:

@@ -74,6 +74,7 @@ TRACKED_FILES = (
     "BENCH_shard.json",
     "BENCH_serve_slo.json",
     "BENCH_resilience.json",
+    "BENCH_online.json",
 )
 
 #: fewest per-round samples (each side) for the Mann-Whitney test to run

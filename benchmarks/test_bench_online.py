@@ -1,0 +1,280 @@
+"""Benchmark: online learning — freshness, swap pause, and serving parity.
+
+The closed loop under measurement is ingest → incremental train → publish
+(:mod:`repro.stream`): interactions are appended to the durable log, the
+incremental trainer absorbs them in micro-epochs, and the publisher
+checkpoints + hot-swaps the serving deployment.  Three headline numbers,
+one artifact:
+
+* **Event→visible freshness.**  Per cycle: a burst of interactions is
+  appended, the trainer catches up, the publisher swaps, and the clock
+  stops when a served response first carries the new deployment version.
+  ``freshness_p95_ms`` is the ISSUE's end-to-end promise — an appended
+  interaction is reflected in serving after at most one publish cycle.
+* **Swap pause.**  A background thread keeps issuing requests through the
+  service for the whole run; ``swap_pause_p95_ms`` is the worst response
+  latency observed *during* a publish window (the hot-swap must never
+  stall traffic — reloads build outside the registry lock and swap with
+  one atomic replace).  ``traffic_errors`` must stay zero: a swap may
+  never surface as a failed or torn request.
+* **Ingest throughput.**  ``ingest_events_per_s`` (batched appends into
+  the segmented log, per-cycle samples for the Mann-Whitney gate) is the
+  amortisation lever of the front door.
+
+Parity: after the final swap, ``identical_after_swap`` re-opens the last
+published checkpoint in a fresh deployment and checks the served
+recommendations are bit-identical to it — the hot-swapped state must be
+exactly what was published, not a partially invalidated hybrid.
+
+Results go to ``BENCH_online.json`` at the repository root (committed,
+uploaded as a CI artifact).  On single-core runners the latency-shaped
+metrics are declared in ``skipped_metrics``: with the traffic thread, the
+trainer and the publisher sharing one core, freshness and pause measure
+scheduler interleaving, not the online loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.data import leave_one_out_split, load_dataset
+from repro.models import ModelConfig, build_model
+from repro.service import Deployment, ModelRegistry, RecommenderService
+from repro.serving import ServingConfig
+from repro.stream import IncrementalTrainer, InteractionLog, Publisher
+from repro.text import encode_items
+
+K = 10
+LEARNING_RATE = 0.01
+FRESHNESS_TIMEOUT_S = 30.0
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_online.json"
+
+
+def _median(values):
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def _p95(values):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(0.95 * (len(ordered) - 1) + 0.999))]
+
+
+def _build():
+    # Untrained on purpose: the loop measures ingest/train/publish/swap
+    # mechanics, not recommendation quality.
+    dataset = load_dataset("arts", scale="tiny", seed=3)
+    split = leave_one_out_split(dataset.interactions)
+    features = encode_items(dataset.items, embedding_dim=32, seed=3)
+    config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
+                         dropout=0.1, max_seq_length=20, seed=0)
+    model = build_model("whitenrec", dataset.num_items,
+                        feature_table=features, config=config)
+    return dataset, split, features, model
+
+
+class _Traffic:
+    """A closed-loop request thread recording (start, latency, version)."""
+
+    def __init__(self, service, histories):
+        self.service = service
+        self.histories = histories
+        self.records = []  # (started, latency_ms, version)
+        self.errors = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        row = 0
+        while not self._stop.is_set():
+            payload = {"history": self.histories[row], "k": K}
+            started = time.perf_counter()
+            try:
+                response = self.service.recommend(payload)
+            except Exception as error:  # noqa: BLE001 - recorded, asserted
+                self.errors.append(repr(error))
+                return
+            self.records.append((started,
+                                 (time.perf_counter() - started) * 1000.0,
+                                 response.deployment_version))
+            row = (row + 1) % len(self.histories)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._stop.set()
+        self._thread.join(timeout=60)
+
+    def pause_during(self, window):
+        """Worst latency of requests in flight during ``window``."""
+        begin, end = window
+        overlapping = [latency for started, latency, _ in self.records
+                       if started <= end
+                       and started + latency / 1000.0 >= begin]
+        return max(overlapping) if overlapping else 0.0
+
+
+def run_online(scale: str = "bench") -> dict:
+    cycles = 5 if scale == "full" else 3
+    events_per_cycle = 512 if scale == "full" else 128
+
+    dataset, split, features, model = _build()
+    users = sorted(split.train_sequences)
+    rng = random.Random(11)
+    histories = [list(case.history) for case in split.test[:8]]
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-online-"))
+    registry = ModelRegistry()
+    service = RecommenderService(registry)
+    log = InteractionLog(workdir / "log", durable=False)
+    trainer = IncrementalTrainer(model, log, feature_table=features,
+                                 train_sequences=split.train_sequences,
+                                 learning_rate=LEARNING_RATE, seed=0)
+    publisher = Publisher(registry, workdir / "checkpoints", service=service)
+
+    ingest_samples, freshness_ms, swap_pause_ms, publish_ms = [], [], [], []
+    try:
+        first = publisher.publish(trainer, "arts")
+        last_report = first
+        with _Traffic(service, histories) as traffic:
+            for cycle in range(cycles):
+                batch = [(rng.choice(users),
+                          rng.randint(1, dataset.num_items), time.time())
+                         for _ in range(events_per_cycle)]
+                event_clock = time.perf_counter()
+                log.append_many(batch)
+                ingest_samples.append(
+                    events_per_cycle / max(time.perf_counter() - event_clock,
+                                           1e-9))
+
+                trainer.run_until_caught_up()
+                swap_begin = time.perf_counter()
+                report = publisher.publish(trainer, "arts")
+                swap_end = time.perf_counter()
+                last_report = report
+                publish_ms.append(report.total_ms)
+
+                # Freshness clock stops at the first served response that
+                # carries the freshly published version.
+                deadline = time.monotonic() + FRESHNESS_TIMEOUT_S
+                while True:
+                    response = service.recommend({"history": histories[0],
+                                                  "k": K})
+                    if response.deployment_version >= report.version:
+                        break
+                    if time.monotonic() > deadline:
+                        raise TimeoutError(
+                            f"version {report.version} never became "
+                            f"visible within {FRESHNESS_TIMEOUT_S}s")
+                freshness_ms.append(
+                    (time.perf_counter() - event_clock) * 1000.0)
+                # Give the traffic thread a beat so the publish window has
+                # requests on both sides before we measure the pause.
+                time.sleep(0.02)
+                swap_pause_ms.append(
+                    traffic.pause_during((swap_begin, swap_end)))
+
+        # Parity: the served state must be exactly the published checkpoint.
+        served = registry.get("arts")
+        reference = Deployment.from_checkpoint(
+            "reference", last_report.checkpoint_path,
+            config=ServingConfig(k=K))
+        try:
+            served_topk = served.recommender.topk(histories, k=K)
+            reference_topk = reference.recommender.topk(histories, k=K)
+            identical_after_swap = (
+                np.array_equal(served_topk.items, reference_topk.items)
+                and np.array_equal(served_topk.scores, reference_topk.scores))
+        finally:
+            reference.close()
+        versions_seen = sorted({version
+                                for _, _, version in traffic.records})
+        traffic_errors = list(traffic.errors)
+    finally:
+        service.close()
+        registry.close_all()
+        log.close()
+
+    cpu_count = os.cpu_count()
+    result = {
+        "k": K,
+        "num_items": dataset.num_items,
+        "cpu_count": cpu_count,
+        "cycles": cycles,
+        "events_per_cycle": events_per_cycle,
+        "learning_rate": LEARNING_RATE,
+        "events_total": int(log.end_offset),
+        "versions_published": int(last_report.version),
+        "versions_seen_by_traffic": versions_seen,
+        "traffic_requests": len(traffic.records),
+        "traffic_errors": len(traffic_errors),
+        "ingest_events_per_s": round(_median(ingest_samples), 1),
+        "freshness_p95_ms": round(_p95(freshness_ms), 3),
+        "freshness_median_ms": round(_median(freshness_ms), 3),
+        "swap_pause_p95_ms": round(_p95(swap_pause_ms), 3),
+        "publish_p95_ms": round(_p95(publish_ms), 3),
+        "identical_after_swap": bool(identical_after_swap),
+        "samples": {
+            "ingest_events_per_s": [round(sample, 1)
+                                    for sample in ingest_samples],
+        },
+    }
+    if traffic_errors:
+        result["traffic_error_detail"] = traffic_errors[:3]
+    if (cpu_count or 1) < 2:
+        reason = (f"cpu_count={cpu_count}: the traffic thread, the trainer "
+                  f"and the publisher share one core, so freshness and "
+                  f"swap pause measure scheduler interleaving, not the "
+                  f"online loop")
+        result["skipped_metrics"] = {
+            "freshness_p95_ms": reason,
+            "swap_pause_p95_ms": reason,
+        }
+    return result
+
+
+def test_online(benchmark, scale):
+    result = run_once(benchmark, run_online, scale=scale)
+    print(
+        f"\nonline loop ({result['cpu_count']} cores): "
+        f"{result['cycles']} cycles x {result['events_per_cycle']} events "
+        f"-> freshness p95 {result['freshness_p95_ms']:,.0f}ms "
+        f"(median {result['freshness_median_ms']:,.0f}ms), "
+        f"swap pause p95 {result['swap_pause_p95_ms']:,.1f}ms, "
+        f"ingest {result['ingest_events_per_s']:,.0f} events/s, "
+        f"{result['traffic_requests']} concurrent requests "
+        f"({result['traffic_errors']} errors)"
+    )
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {RESULT_PATH}")
+
+    assert result["traffic_errors"] == 0, (
+        "hot-swaps surfaced as request failures: "
+        f"{result.get('traffic_error_detail')}"
+    )
+    assert result["identical_after_swap"], (
+        "served recommendations diverged from the last published "
+        "checkpoint — the swap left a partially invalidated hybrid"
+    )
+    assert result["versions_published"] == result["cycles"] + 1
+    # Every cycle must make its version visible (the freshness loop would
+    # have timed out otherwise); the traffic thread must never see a
+    # version that was not published.
+    assert set(result["versions_seen_by_traffic"]) <= set(
+        range(1, result["versions_published"] + 1))

@@ -49,6 +49,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.anisotropy import analyze_embeddings
@@ -252,9 +254,67 @@ def _build_parser() -> argparse.ArgumentParser:
                                      "every generated request; expiries "
                                      "come back classified as "
                                      "deadline_expired, not errors")
+    loadgen_parser.add_argument("--follow-log", default=None, metavar="PATH",
+                                help="drain this repro.stream interaction "
+                                     "log while generating sessions, weaving "
+                                     "freshly ingested items into the users' "
+                                     "sliding windows")
     loadgen_parser.add_argument("--json", action="store_true",
                                 help="emit the report as one JSON object "
                                      "instead of the human-readable summary")
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="online learning: interaction log, incremental training, "
+             "hot-swap publishing",
+    )
+    stream_commands = stream_parser.add_subparsers(dest="stream_command",
+                                                   required=True)
+    append_parser = stream_commands.add_parser(
+        "append", help="append USER:ITEM interaction events to a log"
+    )
+    append_parser.add_argument("log", help="interaction log directory")
+    append_parser.add_argument("events", nargs="+", metavar="USER:ITEM",
+                               help="events to append, e.g. 3:17 3:42")
+    append_parser.add_argument("--no-fsync", action="store_true",
+                               help="skip fsync per batch (tests/demos)")
+    status_parser = stream_commands.add_parser(
+        "status", help="show a log's extent, segments and consumer offsets"
+    )
+    status_parser.add_argument("log", help="interaction log directory")
+    status_parser.add_argument("--json", action="store_true")
+    stream_run_parser = stream_commands.add_parser(
+        "run",
+        help="closed-loop demo: ingest -> micro-epochs -> publish cycles "
+             "against an in-process service",
+    )
+    stream_run_parser.add_argument("dataset", choices=available_presets())
+    stream_run_parser.add_argument("--scale", default="tiny",
+                                   choices=["tiny", "small", "paper"])
+    stream_run_parser.add_argument("--model", default="whitenrec",
+                                   help="model family (default: whitenrec)")
+    stream_run_parser.add_argument("--dim", type=int, default=32,
+                                   help="pre-trained text embedding dimension")
+    stream_run_parser.add_argument("--seed", type=int, default=7)
+    stream_run_parser.add_argument("--log", default=None, metavar="PATH",
+                                   help="interaction log directory (default: "
+                                        "a temporary one seeded with "
+                                        "synthetic events)")
+    stream_run_parser.add_argument("--events", type=int, default=256,
+                                   help="synthetic events to ingest when no "
+                                        "--log is given (default: 256)")
+    stream_run_parser.add_argument("--cycles", type=int, default=3,
+                                   help="train->publish cycles to run "
+                                        "(default: 3)")
+    stream_run_parser.add_argument("--lr", type=float, default=0.01,
+                                   help="micro-epoch learning rate")
+    stream_run_parser.add_argument("--checkpoints", default=None,
+                                   metavar="DIR",
+                                   help="where versioned checkpoints go "
+                                        "(default: alongside the log)")
+    stream_run_parser.add_argument("--json", action="store_true",
+                                   help="emit one JSON object per publish "
+                                        "cycle instead of tables")
 
     index_parser = subparsers.add_parser(
         "index", help="build and inspect ANN item-retrieval indexes"
@@ -661,9 +721,15 @@ def _command_loadgen(args) -> int:
             else:
                 offsets = poisson_offsets(args.rate, args.duration,
                                           seed=args.seed)
+            follow_log = None
+            if args.follow_log:
+                from .stream import InteractionLog
+
+                follow_log = InteractionLog(args.follow_log, durable=False)
             payloads = session_requests(len(offsets), catalogue,
                                         seed=args.seed,
-                                        deadline_ms=args.deadline_ms)
+                                        deadline_ms=args.deadline_ms,
+                                        follow_log=follow_log)
             report = run_open_loop(send, payloads, offsets,
                                    concurrency=args.workers,
                                    profile=args.profile,
@@ -680,6 +746,130 @@ def _command_loadgen(args) -> int:
             service.close()
         if registry is not None:
             registry.close_all()
+    return 0
+
+
+def _command_stream(args) -> int:
+    import json as json_module
+
+    from .stream import InteractionLog
+
+    if args.stream_command == "append":
+        events = []
+        for spec in args.events:
+            user_text, separator, item_text = spec.partition(":")
+            try:
+                if not separator:
+                    raise ValueError
+                events.append((int(user_text), int(item_text), time.time()))
+            except ValueError:
+                return _fail(f"events are USER:ITEM pairs, got {spec!r}")
+        with InteractionLog(args.log, durable=not args.no_fsync) as log:
+            offsets = log.append_many(events)
+            print(f"appended {len(offsets)} events at offsets "
+                  f"[{offsets[0]}..{offsets[-1]}]; log extent is now "
+                  f"{log.end_offset}")
+        return 0
+
+    if args.stream_command == "status":
+        with InteractionLog(args.log, durable=False) as log:
+            status = log.describe()
+            status["lag"] = {consumer: log.lag(consumer)
+                             for consumer in status["committed"]}
+        if args.json:
+            print(json_module.dumps(status, sort_keys=True))
+        else:
+            print(f"log       : {status['directory']}")
+            print(f"extent    : {status['end_offset']} events in "
+                  f"{status['num_segments']} segment(s)")
+            for consumer, offset in sorted(status["committed"].items()):
+                print(f"consumer  : {consumer} committed={offset} "
+                      f"lag={status['lag'][consumer]}")
+        return 0
+
+    if args.stream_command == "run":
+        return _command_stream_run(args)
+    raise AssertionError(
+        f"unhandled stream command {args.stream_command!r}")  # pragma: no cover
+
+
+def _command_stream_run(args) -> int:
+    import json as json_module
+    import random as random_module
+    import tempfile
+
+    from .data.splits import leave_one_out_split
+    from .models import ModelConfig, build_model
+    from .service import ModelRegistry, RecommenderService
+    from .stream import IncrementalTrainer, InteractionLog, Publisher
+
+    if args.cycles < 1:
+        return _fail(f"--cycles must be >= 1, got {args.cycles}")
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    split = leave_one_out_split(dataset.interactions)
+    features = encode_items(dataset.items, embedding_dim=args.dim,
+                            seed=args.seed)
+    config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
+                         dropout=0.1, max_seq_length=20, seed=args.seed)
+    try:
+        model = build_model(args.model, dataset.num_items,
+                            feature_table=features, config=config)
+    except (KeyError, ValueError) as error:
+        return _fail(f"unknown model {args.model!r}: {error}")
+
+    log_dir = args.log or tempfile.mkdtemp(prefix="repro-stream-")
+    checkpoint_dir = args.checkpoints or str(Path(log_dir) / "checkpoints")
+    synthesize = args.log is None
+    rng = random_module.Random(args.seed)
+
+    registry = ModelRegistry()
+    service = RecommenderService(registry)
+    log = InteractionLog(log_dir, durable=False)
+    trainer = IncrementalTrainer(model, log, feature_table=features,
+                                 train_sequences=split.train_sequences,
+                                 learning_rate=args.lr, seed=args.seed)
+    publisher = Publisher(registry, checkpoint_dir, service=service)
+    users = sorted(split.train_sequences)
+    try:
+        report = publisher.publish(trainer, args.dataset)
+        if not args.json:
+            print(f"published {args.dataset} v{report.version} "
+                  f"({report.total_ms:.1f} ms)")
+        per_cycle = max(1, args.events // args.cycles)
+        for cycle in range(args.cycles):
+            if synthesize:
+                log.append_many(
+                    (rng.choice(users), rng.randint(1, dataset.num_items),
+                     time.time())
+                    for _ in range(per_cycle))
+            epochs = trainer.run_until_caught_up()
+            report = publisher.publish(trainer, args.dataset)
+            applied = sum(epoch.events for epoch in epochs)
+            loss = epochs[-1].loss if epochs else 0.0
+            summary = {
+                "cycle": cycle + 1,
+                "events_applied": applied,
+                "events_behind": trainer.events_behind,
+                "loss": round(loss, 4),
+                **report.to_dict(),
+            }
+            if args.json:
+                print(json_module.dumps(summary, sort_keys=True))
+            else:
+                print(f"cycle {cycle + 1}: applied {applied} events "
+                      f"(loss {loss:.3f}) -> v{report.version} in "
+                      f"{report.total_ms:.1f} ms "
+                      f"(save {report.save_ms:.1f} / swap "
+                      f"{report.reload_ms:.1f} / warm {report.warm_ms:.1f})")
+        if not args.json:
+            print(f"log extent {log.end_offset}, trainer committed "
+                  f"{trainer.offset}, served version "
+                  f"{registry.get(args.dataset).version}")
+    finally:
+        service.close()
+        registry.close_all()
+        log.close()
     return 0
 
 
@@ -773,6 +963,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "loadgen":
         return _command_loadgen(args)
+    if args.command == "stream":
+        return _command_stream(args)
     if args.command == "index":
         return _command_index_build(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -105,6 +105,51 @@ class Checkpoint:
     metadata: Dict[str, Any]
     feature_table: Optional[np.ndarray] = None
 
+    @classmethod
+    def snapshot(cls, model, feature_table: Optional[np.ndarray] = None,
+                 build_kwargs: Optional[Dict[str, Any]] = None,
+                 extra: Optional[Dict[str, Any]] = None) -> "Checkpoint":
+        """A fully *detached* checkpoint of a live model.
+
+        The in-place fused optimisers of :mod:`repro.nn.optim` mutate
+        ``param.data`` through ``out=`` ufuncs, so an array's identity never
+        changes across a training step — any state dict that shares memory
+        with a live trainer silently tracks every future step.  This
+        constructor deep-copies each parameter into a fresh C-contiguous
+        array (and copies the feature table), so the snapshot a publisher
+        serves — or writes with :func:`save_checkpoint` — can never be
+        mutated by continued fine-tuning.  :func:`save_checkpoint` asserts
+        this detachment before writing.
+        """
+        from ..nn.module import export_array
+
+        state = {name: export_array(param)
+                 for name, param in model.named_parameters()}
+        metadata = _checkpoint_metadata(model, build_kwargs, extra)
+        if feature_table is not None:
+            feature_table = np.array(feature_table, dtype=np.float64,
+                                     copy=True)
+        return cls(state=state, metadata=metadata,
+                   feature_table=feature_table)
+
+    def assert_detached_from(self, model, context: str = "checkpoint") -> None:
+        """Raise unless no state array aliases ``model``'s live parameters.
+
+        The guard behind the publish path: a checkpoint that shares memory
+        with a trainer keeps changing under the served deployment as
+        micro-epochs continue (identity-preserving in-place steps), which is
+        exactly the torn-serving hazard :meth:`snapshot` exists to prevent.
+        """
+        params = dict(model.named_parameters())
+        for name, values in self.state.items():
+            param = params.get(name)
+            if param is not None and np.shares_memory(values, param.data):
+                raise ValueError(
+                    f"{context} aliases live parameter {name!r}: in-place "
+                    f"optimiser steps would mutate it after publish; build "
+                    f"the checkpoint with Checkpoint.snapshot(model)"
+                )
+
     def summary(self) -> Dict[str, Any]:
         """Compact JSON-serialisable description of what the checkpoint holds.
 
@@ -179,9 +224,12 @@ def _checkpoint_metadata(model, build_kwargs: Optional[Dict[str, Any]],
 def save_checkpoint(model, path: PathLike,
                     feature_table: Optional[np.ndarray] = None,
                     build_kwargs: Optional[Dict[str, Any]] = None,
-                    extra: Optional[Dict[str, Any]] = None) -> Path:
+                    extra: Optional[Dict[str, Any]] = None,
+                    detached_from=None) -> Path:
     """Save a trained model so a serving process can rebuild it.
 
+    ``model`` may be a live module or an already-built :class:`Checkpoint`
+    (e.g. from :meth:`Checkpoint.snapshot` — the online publisher's path).
     The checkpoint is a single ``.npz`` holding the parameter arrays, a JSON
     metadata blob (model name, ``num_items``, the ``ModelConfig`` fields and
     ``build_kwargs`` for :func:`repro.models.build_model`) and, optionally,
@@ -193,18 +241,46 @@ def save_checkpoint(model, path: PathLike,
     ``whitening_method``) are introspected from the model automatically;
     ``build_kwargs`` entries override the introspected values.
 
-    For matrices too large to deserialise into every process, see the
-    memmap-friendly directory variant :func:`save_checkpoint_tree`.
+    **Aliasing guard.**  The state arrays being written must not share
+    memory with the source model's live parameters (the in-place optimisers
+    keep ``param.data`` identity across steps, so an aliased "checkpoint"
+    changes after every later micro-epoch).  A live module is snapshotted
+    through copying ``state_dict()`` and the copies are asserted detached;
+    a :class:`Checkpoint` first argument is asserted against every model in
+    ``detached_from`` (pass the live trainer's model there).
     """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
 
-    metadata = _checkpoint_metadata(model, build_kwargs, extra)
+    if isinstance(model, Checkpoint):
+        if build_kwargs is not None or extra is not None:
+            raise ValueError(
+                "build_kwargs/extra are recorded when the Checkpoint is "
+                "built; they cannot be overridden at save time"
+            )
+        checkpoint = model
+        metadata = checkpoint.metadata
+        state = checkpoint.state
+        if feature_table is None:
+            feature_table = checkpoint.feature_table
+    else:
+        metadata = _checkpoint_metadata(model, build_kwargs, extra)
+        state = model.state_dict()
+        checkpoint = Checkpoint(state=state, metadata=metadata)
+        # state_dict() copies today; assert it stays that way, or every
+        # checkpoint saved mid-training would silently track later steps.
+        checkpoint.assert_detached_from(model, context=f"state of {path.name}")
+
+    if detached_from is not None:
+        guards = (detached_from if isinstance(detached_from, (list, tuple))
+                  else (detached_from,))
+        for guard in guards:
+            checkpoint.assert_detached_from(guard, context=str(path.name))
 
     arrays: Dict[str, np.ndarray] = {
-        _STATE_PREFIX + name: values for name, values in model.state_dict().items()
+        _STATE_PREFIX + name: values for name, values in state.items()
     }
     arrays[_METADATA_KEY] = np.asarray(json.dumps(metadata))
     if feature_table is not None:

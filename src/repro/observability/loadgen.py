@@ -101,8 +101,8 @@ def session_requests(count: int, catalogue: int, num_users: int = 64,
                      revisit: float = 0.6, history: int = 12,
                      seed: int = 0,
                      deployment: Optional[str] = None,
-                     deadline_ms: Optional[float] = None
-                     ) -> List[Dict[str, Any]]:
+                     deadline_ms: Optional[float] = None,
+                     follow_log=None) -> List[Dict[str, Any]]:
     """``count`` request payloads from a re-visiting user population.
 
     Each request belongs to a user; a re-visit (probability ``revisit``)
@@ -110,13 +110,36 @@ def session_requests(count: int, catalogue: int, num_users: int = 64,
     requests from one user are strict prefix extensions — exactly the
     pattern an incremental SessionCache turns into prefix hits.  Histories
     are capped at ``history`` items (a sliding window, like real sessions).
+
+    ``follow_log`` optionally couples the population to live ingestion: an
+    :class:`~repro.stream.InteractionLog` (or a path to one) is drained as
+    payloads are generated, and each logged interaction is appended to the
+    sliding window of user ``user_id % num_users`` — so replayed sessions
+    carry the freshly ingested items the online loop is fine-tuning on,
+    and a post-publish request stream actually exercises the new events.
+    Logged items outside ``[1, catalogue]`` are skipped (the served model
+    cannot encode them yet).
     """
     if catalogue < 1:
         raise ValueError(f"catalogue must be >= 1, got {catalogue}")
+    if follow_log is not None and not hasattr(follow_log, "read"):
+        from ..stream import InteractionLog
+
+        follow_log = InteractionLog(follow_log, durable=False)
     rng = random.Random(seed)
     histories: List[List[int]] = []
+    cursor = 0
     payloads: List[Dict[str, Any]] = []
     for position in range(count):
+        if follow_log is not None:
+            for event in follow_log.read(cursor):
+                cursor = event.offset + 1
+                if not 1 <= event.item_id <= catalogue:
+                    continue
+                user_index = event.user_id % num_users
+                while len(histories) <= user_index:
+                    histories.append([])
+                histories[user_index].append(int(event.item_id))
         if histories and (rng.random() < revisit
                           or len(histories) >= num_users):
             user = rng.randrange(len(histories))

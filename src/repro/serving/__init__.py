@@ -18,12 +18,17 @@ into a cache-backed top-K service:
 
 from .config import (SERVING_BACKENDS, SERVING_ENGINES, SHARD_BACKENDS,
                      ServingConfig, resolve_config)
+from .generations import (GenerationClock, GenerationFollower,
+                          GenerationalCache)
 from .recommender import Recommender, TopKResult, full_sort_topk
 from .store import EmbeddingStore
 from .throughput import ThroughputReport, measure_throughput, per_sequence_topk
 
 __all__ = [
     "EmbeddingStore",
+    "GenerationClock",
+    "GenerationFollower",
+    "GenerationalCache",
     "Recommender",
     "SERVING_BACKENDS",
     "SERVING_ENGINES",

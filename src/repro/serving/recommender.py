@@ -44,6 +44,7 @@ from ..resilience.deadline import expired, remaining_s
 from ..resilience.errors import DeadlineExceeded
 from ..training.evaluation import inference_catalogue_scores
 from .config import SERVING_BACKENDS, ServingConfig, resolve_config
+from .generations import GenerationClock, GenerationFollower
 from .store import EmbeddingStore
 
 
@@ -96,7 +97,7 @@ class TopKResult:
 
 
 class _ItemMatrixCache:
-    """Generation-stamped memo of the candidate matrix and its dtype casts.
+    """Clock-stamped memo of the candidate matrix and its dtype casts.
 
     One cache serves a model and *all* of its per-dtype sibling recommenders
     (see :meth:`repro.service.Deployment.recommender_for`): the float64
@@ -104,22 +105,41 @@ class _ItemMatrixCache:
     requested scoring dtype is cast exactly once — alternating float32 /
     float64 traffic no longer re-casts (or re-derives) the catalogue on every
     switch.  :attr:`cast_count` counts real casts for regression tests.
+
+    The cache *owns* the deployment's :class:`GenerationClock`: every other
+    derived cache (engine slot, ANN indexes, fallback tables, shard layout)
+    follows the same clock, so :meth:`refresh` — a single ``advance()`` —
+    invalidates all of them coherently.
     """
 
-    def __init__(self, model):
+    def __init__(self, model, clock: Optional[GenerationClock] = None):
         self.model = model
-        self.generation = 0
+        self.clock = clock if clock is not None else GenerationClock()
         #: number of dtype casts actually performed (not cache hits)
         self.cast_count = 0
         #: number of model item-matrix derivations performed
         self.derive_count = 0
         self._native: Optional[np.ndarray] = None
         self._casts: Dict[str, np.ndarray] = {}
+        self._built_generation = self.clock.value
         self._lock = threading.Lock()
+
+    @property
+    def generation(self) -> int:
+        """The current catalogue generation (the shared clock's stamp)."""
+        return self.clock.value
+
+    def _reconcile_locked(self) -> None:
+        current = self.clock.value
+        if self._built_generation != current:
+            self._built_generation = current
+            self._native = None
+            self._casts.clear()
 
     def native(self) -> np.ndarray:
         """The model-precision candidate matrix (derived once per generation)."""
         with self._lock:
+            self._reconcile_locked()
             if self._native is None:
                 self._native = self.model.inference_item_matrix()
                 self.derive_count += 1
@@ -130,6 +150,7 @@ class _ItemMatrixCache:
         canonical = np.dtype(dtype).name
         native = self.native()
         with self._lock:
+            self._reconcile_locked()
             cached = self._casts.get(canonical)
             if cached is None:
                 if native.dtype == np.dtype(dtype):
@@ -141,29 +162,37 @@ class _ItemMatrixCache:
             return cached
 
     def refresh(self) -> None:
-        """Invalidate after the model changed (new generation)."""
-        with self._lock:
-            self.generation += 1
-            self._native = None
-            self._casts.clear()
+        """Invalidate after the model changed: one clock advance, observed
+        lazily by this memo and every follower of the shared clock."""
+        self.clock.advance()
 
 
 class _EngineSlot:
     """Shared lazy-build slot for one model's compiled engine.
 
     Dtype-sibling recommenders hold the same slot, so whichever sibling
-    encodes first compiles the plan for all of them.
+    encodes first compiles the plan for all of them.  The slot follows the
+    deployment's :class:`GenerationClock`: a catalogue refresh drops the
+    compiled plan (its weight snapshot is stale) *and* its session cache on
+    the next access, with no explicit reset call.
     """
 
-    def __init__(self):
+    def __init__(self, clock: GenerationClock):
+        self.clock = clock
         self.engine: Optional[InferenceEngine] = None
         self.unsupported = False
         self.lock = threading.Lock()
+        self._built_generation = clock.value
 
-    def reset(self) -> None:
+    def reconcile(self) -> None:
+        """Drop a plan compiled for a previous generation."""
+        if self._built_generation == self.clock.value:
+            return
         with self.lock:
-            self.engine = None
-            self.unsupported = False
+            if self._built_generation != self.clock.value:
+                self._built_generation = self.clock.value
+                self.engine = None
+                self.unsupported = False
 
 
 def full_sort_topk(scores: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -259,10 +288,10 @@ class Recommender:
                 f"for every catalogue item"
             )
         self._matrix_cache = _ItemMatrixCache(model)
-        self._cache_generation = 0
+        self._follower = GenerationFollower(self._matrix_cache.clock)
         self._fallback_tables: Dict[Tuple[str, str, str], np.ndarray] = {}
         self._popularity_cast: Optional[np.ndarray] = None
-        self._engine_slot = _EngineSlot()
+        self._engine_slot = _EngineSlot(self._matrix_cache.clock)
         self._shard_client = None
         self._shard_lock = threading.Lock()
         self._popularity: Optional[np.ndarray] = None
@@ -289,17 +318,26 @@ class Recommender:
         self._sync_generation()
         return self._matrix_cache.cast(self.dtype)
 
+    @property
+    def generation_clock(self) -> GenerationClock:
+        """The deployment-wide clock every derived cache follows.
+
+        Advancing it (equivalently, :meth:`refresh_item_matrix`) invalidates
+        the item matrix and its casts, the compiled plan and session cache,
+        the ANN indexes, fallback tables and shard layout — across this
+        recommender *and* every dtype sibling sharing its caches.
+        """
+        return self._matrix_cache.clock
+
     def _sync_generation(self) -> None:
         """Drop per-recommender derived caches when a *sibling* refreshed.
 
         The matrix cache and engine slot are shared across dtype siblings,
         but each recommender keeps its own ANN indexes and fallback casts;
-        comparing the shared generation stamp here keeps those consistent no
-        matter which sibling called :meth:`refresh_item_matrix`.
+        following the shared clock here keeps those consistent no matter
+        which sibling called :meth:`refresh_item_matrix`.
         """
-        generation = self._matrix_cache.generation
-        if self._cache_generation != generation:
-            self._cache_generation = generation
+        if self._follower.catch_up():
             self._indexes.clear()
             self._fallback_tables.clear()
             self._popularity_cast = None
@@ -314,10 +352,9 @@ class Recommender:
     def refresh_item_matrix(self) -> None:
         """Drop the cached ``V``, every index built on it, and the compiled
         engine (its weight snapshot is stale) — call after fine-tuning the
-        model.  Dtype siblings sharing this recommender's caches pick the
-        new generation up on their next call."""
+        model.  One clock advance: dtype siblings sharing this recommender's
+        caches pick the new generation up on their next call."""
         self._matrix_cache.refresh()
-        self._engine_slot.reset()
         self._sync_generation()
 
     def engine(self, requested: Optional[str] = None) -> Optional[InferenceEngine]:
@@ -336,6 +373,7 @@ class Recommender:
         if kind != "compiled":
             return None
         slot = self._engine_slot
+        slot.reconcile()
         if slot.engine is None and not slot.unsupported:
             with slot.lock:
                 if slot.engine is None and not slot.unsupported:
@@ -363,6 +401,7 @@ class Recommender:
         if self.config.engine != "compiled":
             return {"engine": "graph"}
         slot = self._engine_slot
+        slot.reconcile()
         if slot.unsupported:
             return {"engine": "graph", "fallback": "unsupported-model"}
         if slot.engine is None:
@@ -384,6 +423,12 @@ class Recommender:
                              "recommenders wrapping the same model object")
         self._matrix_cache = other._matrix_cache
         self._engine_slot = other._engine_slot
+        # Follow the adopted clock: anything this recommender derived before
+        # the adoption belongs to a different stamp lineage, so drop it.
+        self._follower = GenerationFollower(self._matrix_cache.clock)
+        self._indexes.clear()
+        self._fallback_tables.clear()
+        self._popularity_cast = None
 
     def shard_client(self):
         """The :class:`repro.shard.ShardClient` serving sharded retrieval.

@@ -17,7 +17,7 @@ into the same whitened space without re-estimating any statistics
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from ..index import ItemIndex, build_index
 from ..whitening import build_whitening
 from ..whitening.base import WhiteningTransform
 from ..whitening.group import GroupSpec
+from .generations import GenerationClock, GenerationalCache
 
 CacheKey = Tuple[str, str, float]
 IndexKey = Tuple[CacheKey, str, Tuple[Tuple[str, str], ...]]
@@ -53,9 +54,13 @@ class EmbeddingStore:
         self._feature_table = feature_table.copy()
         self._feature_table.setflags(write=False)
         self.default_eps = eps
-        self._transforms: Dict[CacheKey, WhiteningTransform] = {}
-        self._tables: Dict[CacheKey, np.ndarray] = {}
-        self._indexes: Dict[IndexKey, ItemIndex] = {}
+        #: one stamp governs every memo derived from the feature table; a
+        #: catalogue update (:meth:`refresh_feature_table`) advances it once
+        #: and the transforms, whitened tables and ANN indexes all lapse.
+        self.clock = GenerationClock()
+        self._transforms: GenerationalCache = GenerationalCache(self.clock)
+        self._tables: GenerationalCache = GenerationalCache(self.clock)
+        self._indexes: GenerationalCache = GenerationalCache(self.clock)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -75,8 +80,37 @@ class EmbeddingStore:
 
     @property
     def num_fits(self) -> int:
-        """Total number of transform fits performed by this store."""
+        """Number of fits held by the current catalogue generation."""
         return sum(transform.fit_count for transform in self._transforms.values())
+
+    @property
+    def generation(self) -> int:
+        """The catalogue generation every cached table/index belongs to."""
+        return self.clock.value
+
+    def refresh_feature_table(self, feature_table: np.ndarray) -> None:
+        """Swap in an updated catalogue (new or drifted item embeddings).
+
+        Used by the online-learning loop after an exact whitening refit: one
+        clock advance lapses every fitted transform, whitened table and ANN
+        index, which rebuild lazily against the new table.  The replacement
+        must keep the padded ``(num_items + 1, d_t)`` convention; the
+        catalogue may grow but never shrink (serving ids stay valid).
+        """
+        feature_table = np.asarray(feature_table, dtype=np.float64)
+        if feature_table.ndim != 2 or feature_table.shape[1] != self.feature_dim:
+            raise ValueError(
+                f"replacement feature table must have shape (m, {self.feature_dim})"
+            )
+        if feature_table.shape[0] < self._feature_table.shape[0]:
+            raise ValueError(
+                "replacement feature table cannot shrink the catalogue "
+                f"({feature_table.shape[0] - 1} < {self.num_items} items)"
+            )
+        table = feature_table.copy()
+        table.setflags(write=False)
+        self._feature_table = table
+        self.clock.advance()
 
     def cache_key(self, method: str = "zca", num_groups: GroupSpec = 1,
                   eps: Optional[float] = None) -> CacheKey:
@@ -101,11 +135,13 @@ class EmbeddingStore:
         """Return the fitted transform for a spec, fitting it at most once."""
         eps = self.default_eps if eps is None else eps
         key = self.cache_key(method, num_groups, eps)
-        if key not in self._transforms:
+
+        def fit_transform() -> WhiteningTransform:
             transform = build_whitening(method, num_groups, eps)
             transform.fit(self._feature_table[1:])
-            self._transforms[key] = transform
-        return self._transforms[key]
+            return transform
+
+        return self._transforms.get_or_build(key, fit_transform)
 
     def whitened(self, method: str = "zca", num_groups: GroupSpec = 1,
                  eps: Optional[float] = None) -> np.ndarray:
@@ -115,13 +151,15 @@ class EmbeddingStore:
         same specification returns the same object.
         """
         key = self.cache_key(method, num_groups, eps)
-        if key not in self._tables:
+
+        def whiten_table() -> np.ndarray:
             transform = self.transform(method, num_groups, eps)
             table = np.zeros_like(self._feature_table)
             table[1:] = transform.transform(self._feature_table[1:])
             table.setflags(write=False)
-            self._tables[key] = table
-        return self._tables[key]
+            return table
+
+        return self._tables.get_or_build(key, whiten_table)
 
     # ------------------------------------------------------------------ #
     # ANN indexes over whitened tables
@@ -154,13 +192,15 @@ class EmbeddingStore:
         the same object.
         """
         key = self.index_cache_key(kind, method, num_groups, eps, **index_params)
-        if key not in self._indexes:
+
+        def build() -> ItemIndex:
             table = self.whitened(method, num_groups, eps)
             index = build_index(kind, **index_params)
             index.build(table[1:], ids=np.arange(1, table.shape[0],
                                                  dtype=np.int64))
-            self._indexes[key] = index
-        return self._indexes[key]
+            return index
+
+        return self._indexes.get_or_build(key, build)
 
     def encode_new_items(self, embeddings: np.ndarray, method: str = "zca",
                          num_groups: GroupSpec = 1,

@@ -18,7 +18,12 @@ files against the committed baselines and exits non-zero when
   numbers carry hardware variance on top of run noise; a wider band keeps
   the gate meaningful without turning CI red on a slower runner), or
 * any **parity flag** (``identical_*``) flipped from true to false — a
-  bit-identity guarantee breaking is a correctness bug, never noise.
+  bit-identity guarantee breaking is a correctness bug, never noise, or
+* any **lower-is-better** metric *rose* beyond its tolerance: latency
+  metrics (``*_ms``, gated at ``--absolute-tolerance`` — they carry the
+  baseline machine's speed just like absolute throughput) and memory
+  footprints (``*_bytes_per_item``, gated at ``--tolerance`` — a storage
+  format's size per item is a property of the format, not the machine).
 
 A tracked metric that the baseline has but the fresh run lacks is a failure
 ("disappeared") — unless the fresh file *declares* the omission in a
@@ -89,6 +94,15 @@ RELATIVE_SUFFIXES = ("speedup",)
 #: key-name prefixes treated as must-not-flip parity flags
 PARITY_PREFIXES = ("identical",)
 
+#: lower-is-better suffixes gated in the opposite direction (a *rise*
+#: fails): wall-clock latencies carry hardware variance like absolute
+#: throughput does ...
+LOWER_ABSOLUTE_SUFFIXES = ("_ms",)
+
+#: ... while bytes-per-item footprints are properties of the storage format
+#: itself, so they gate at the tighter relative tolerance
+LOWER_RELATIVE_SUFFIXES = ("_bytes_per_item",)
+
 
 def _flatten(payload: Any, prefix: str = "") -> Iterator[Tuple[str, Any]]:
     if isinstance(payload, dict):
@@ -117,6 +131,16 @@ def _is_throughput_key(key: str) -> bool:
 def _is_parity_key(key: str) -> bool:
     leaf = key.rsplit(".", 1)[-1]
     return any(leaf.startswith(prefix) for prefix in PARITY_PREFIXES)
+
+
+def _is_lower_better_key(key: str) -> bool:
+    leaf = key.rsplit(".", 1)[-1]
+    return any(leaf.endswith(suffix)
+               for suffix in LOWER_ABSOLUTE_SUFFIXES + LOWER_RELATIVE_SUFFIXES)
+
+
+def _is_tracked_key(key: str) -> bool:
+    return _is_throughput_key(key) or _is_lower_better_key(key)
 
 
 def mann_whitney_drop_pvalue(baseline_samples: Sequence[float],
@@ -236,7 +260,7 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
                 failures.append(
                     f"parity flag {key!r} disappeared "
                     f"(parity flags cannot be skipped)")
-            elif _is_throughput_key(key):
+            elif _is_tracked_key(key):
                 if key in skips:
                     notes.append(f"tracked metric {key!r} skipped by the "
                                  f"fresh run: {skips[key]}")
@@ -256,7 +280,7 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
                     f"parity flag {key!r} flipped true -> false")
             elif not old_value and new_value:
                 notes.append(f"parity flag {key!r} now true (improvement)")
-        elif (_is_throughput_key(key)
+        elif (_is_tracked_key(key)
               and isinstance(old_value, (int, float))
               and not isinstance(old_value, bool)):
             if (not isinstance(new_value, (int, float))
@@ -268,22 +292,34 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
                     f"tracked metric {key!r} is no longer numeric "
                     f"(got {new_value!r})")
                 continue
+            lower_better = _is_lower_better_key(key)
             baseline_samples = _samples_for(baseline, key)
             fresh_samples = _samples_for(fresh, key)
             if baseline_samples is not None and fresh_samples is not None:
                 # Both sides recorded per-round samples: significance test
-                # instead of a fixed threshold.
-                p_value = mann_whitney_drop_pvalue(baseline_samples,
-                                                   fresh_samples)
-                dropped = (p_value is not None and p_value < alpha
-                           and _median(fresh_samples)
-                           < _median(baseline_samples))
-                if dropped and key in skips:
+                # instead of a fixed threshold.  For lower-is-better
+                # metrics the regression direction is a *rise*, which is
+                # the same test with the sample sides swapped.
+                if lower_better:
+                    p_value = mann_whitney_drop_pvalue(fresh_samples,
+                                                       baseline_samples)
+                    regressed = (p_value is not None and p_value < alpha
+                                 and _median(fresh_samples)
+                                 > _median(baseline_samples))
+                    direction = "above"
+                else:
+                    p_value = mann_whitney_drop_pvalue(baseline_samples,
+                                                       fresh_samples)
+                    regressed = (p_value is not None and p_value < alpha
+                                 and _median(fresh_samples)
+                                 < _median(baseline_samples))
+                    direction = "below"
+                if regressed and key in skips:
                     notes.append(
-                        f"{key}: significantly below baseline "
+                        f"{key}: significantly {direction} baseline "
                         f"(p={p_value:.4f}) but declared skipped by the "
                         f"fresh run: {skips[key]}")
-                elif dropped:
+                elif regressed:
                     failures.append(
                         f"{key}: median {_median(fresh_samples):.3f} vs "
                         f"baseline median {_median(baseline_samples):.3f} "
@@ -297,6 +333,30 @@ def compare(baseline: Dict[str, Any], fresh: Dict[str, Any],
                         f"{key}: median {_median(fresh_samples):.3f} "
                         f"(baseline median {_median(baseline_samples):.3f}, "
                         f"{detail}) ok")
+                continue
+            if lower_better:
+                leaf = key.rsplit(".", 1)[-1]
+                allowed = (absolute_tolerance
+                           if any(leaf.endswith(suffix)
+                                  for suffix in LOWER_ABSOLUTE_SUFFIXES)
+                           else tolerance)
+                ceiling = old_value * (1.0 + allowed)
+                if new_value > ceiling:
+                    rise = (100.0 * (new_value / old_value - 1.0)
+                            if old_value else 0.0)
+                    if key in skips:
+                        notes.append(
+                            f"{key}: {new_value:.3f} vs baseline "
+                            f"{old_value:.3f} (+{rise:.1f}%) but declared "
+                            f"skipped by the fresh run: {skips[key]}")
+                    else:
+                        failures.append(
+                            f"{key}: {new_value:.3f} vs baseline "
+                            f"{old_value:.3f} (+{rise:.1f}%, tolerance "
+                            f"{allowed:.0%}, lower is better)")
+                else:
+                    notes.append(f"{key}: {new_value:.3f} "
+                                 f"(baseline {old_value:.3f}) ok")
                 continue
             allowed = (absolute_tolerance if _is_absolute_key(key)
                        else tolerance)

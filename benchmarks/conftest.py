@@ -36,3 +36,22 @@ def scale() -> str:
 def run_once(benchmark, func, **kwargs):
     """Run ``func(**kwargs)`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def rss_peak_mb() -> float:
+    """This process's peak resident set size so far, in MiB.
+
+    Reads ``resource.getrusage`` — ``ru_maxrss`` is kilobytes on Linux and
+    bytes on macOS — so memory-lean claims (the int8 catalogue scan keeping
+    the fp32 rows untouched on disk) can be recorded next to the throughput
+    numbers.  The value is a high-water mark for the whole process, not a
+    delta: record it once at the end of the measured section and compare
+    across runs of the same benchmark layout.
+    """
+    import resource
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0

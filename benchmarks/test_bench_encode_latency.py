@@ -18,6 +18,14 @@ repository root (uploaded as a CI artifact; gated by
 
 Hard assertions: the two engines' top-k results are **bit-identical** (ids
 and scores), and the compiled engine encodes at least 2x faster per family.
+
+A second section exercises the **int8 catalogue codec** (:mod:`repro.quant`)
+end to end through the serving stack: a Recommender constructed with
+``catalogue_codec="int8"`` must return top-k ids *and* scores bit-identical
+to the dense fp32 Recommender (``identical_quantized_topk`` — never
+skippable), while storing ``quantized_bytes_per_item`` vs
+``dense_bytes_per_item`` (measured from the actual arrays, not assumed) and
+serving at ``quantized_topk_speedup`` of the dense rate.
 """
 
 from __future__ import annotations
@@ -127,6 +135,73 @@ def _bench_family(name, dataset, split, features, num_requests) -> dict:
     }
 
 
+def _bench_quantized_serving(dataset, split, features, num_requests) -> dict:
+    """Dense vs int8 Recommender over the same request stream.
+
+    The codec is a construction-time property (per-call overrides are
+    rejected), so two Recommenders share one model and the comparison is
+    purely the catalogue representation.
+    """
+    from repro.quant import quantize_matrix
+
+    config = ModelConfig(hidden_dim=32, num_layers=2, num_heads=2,
+                         dropout=0.2, max_seq_length=20, seed=0)
+    model = build_model("whitenrec", dataset.num_items, config=config,
+                        feature_table=features)
+    model.eval()
+
+    cases = split.test
+    histories = [list(cases[index % len(cases)].history)
+                 for index in range(num_requests)]
+    batches = [histories[start:start + 16]
+               for start in range(0, num_requests, 16)]
+
+    def _make(codec):
+        return Recommender(
+            model, store=EmbeddingStore(features),
+            train_sequences=split.train_sequences,
+            config=ServingConfig(k=K, engine="compiled",
+                                 catalogue_codec=codec))
+
+    dense = _make("fp32")
+    quant = _make("int8")
+
+    dense_topk = dense.topk(histories)
+    quant_topk = quant.topk(histories)
+    identical = (np.array_equal(dense_topk.items, quant_topk.items)
+                 and np.array_equal(dense_topk.scores, quant_topk.scores))
+
+    def _stream(recommender):
+        started = time.perf_counter()
+        for batch in batches:
+            recommender.topk(batch)
+        return time.perf_counter() - started
+
+    dense_seconds = quant_seconds = float("inf")
+    for _ in range(ROUNDS):  # interleaved so drift hits both paths alike
+        dense_seconds = min(dense_seconds, _stream(dense))
+        quant_seconds = min(quant_seconds, _stream(quant))
+
+    matrix = dense.item_matrix()
+    quantized = quantize_matrix(np.ascontiguousarray(matrix,
+                                                     dtype=np.float32))
+    dense_rps = num_requests / dense_seconds
+    quant_rps = num_requests / quant_seconds
+    return {
+        "model": "whitenrec",
+        "num_requests": num_requests,
+        "num_items": int(matrix.shape[0]),
+        "identical_quantized_topk": bool(identical),
+        "dense_seq_per_s": dense_rps,
+        "quantized_seq_per_s": quant_rps,
+        "quantized_topk_speedup": quant_rps / dense_rps,
+        "dense_bytes_per_item": matrix.nbytes / matrix.shape[0],
+        "quantized_bytes_per_item": (
+            (quantized.codes.nbytes + quantized.scales.nbytes)
+            / matrix.shape[0]),
+    }
+
+
 def run_encode_latency(scale: str = "bench") -> dict:
     dataset_scale = "small" if scale == "full" else "tiny"
     num_requests = 256 if scale == "full" else 96
@@ -137,14 +212,18 @@ def run_encode_latency(scale: str = "bench") -> dict:
 
     families = {name: _bench_family(name, dataset, split, features, num_requests)
                 for name in FAMILIES}
+    quantized = _bench_quantized_serving(dataset, split, features,
+                                         num_requests)
     return {
         "k": K,
         "families": families,
+        "quantized_serving": quantized,
         "min_speedup": min(entry["speedup"] for entry in families.values()),
         "identical_topk_all": all(entry["identical_topk"]
                                   for entry in families.values()),
         "identical_encodings_all": all(entry["identical_encodings"]
                                        for entry in families.values()),
+        "identical_quantized_topk": quantized["identical_quantized_topk"],
     }
 
 
@@ -164,6 +243,16 @@ def test_encode_latency_cold_path(benchmark, scale):
             f"p95 {entry['graph_p95_ms']:.2f}ms) "
             f"-> {entry['speedup']:.2f}x"
         )
+    quantized = result["quantized_serving"]
+    print(
+        f"int8 serving ({quantized['num_requests']} requests, "
+        f"{quantized['num_items']} items): "
+        f"{quantized['quantized_seq_per_s']:,.0f} seq/s vs dense "
+        f"{quantized['dense_seq_per_s']:,.0f} seq/s "
+        f"({quantized['quantized_topk_speedup']:.2f}x), "
+        f"{quantized['quantized_bytes_per_item']:.0f} vs "
+        f"{quantized['dense_bytes_per_item']:.0f} bytes/item"
+    )
     RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n",
                            encoding="utf-8")
     print(f"wrote {RESULT_PATH}")
@@ -179,3 +268,10 @@ def test_encode_latency_cold_path(benchmark, scale):
             f"{name}: compiled engine only {entry['speedup']:.2f}x faster "
             f"than the graph path (expected >= 2x)"
         )
+    assert result["identical_quantized_topk"], (
+        "int8 Recommender's top-k diverged from the dense fp32 path"
+    )
+    assert (quantized["quantized_bytes_per_item"]
+            <= 0.3 * quantized["dense_bytes_per_item"]), (
+        "int8 catalogue stores more than 0.3x the dense bytes per item"
+    )

@@ -14,9 +14,16 @@ Two halves, one JSON:
   never materialised in this process), served by :class:`ShardPool`
   with 1 and 4 workers attached via zero-copy memmap, and scanned by a
   stream of batched exact searches.  Reported: items-scanned/s, per-request
-  p50/p95 latency, and the 4-vs-1 worker speedup — written to
+  p50/p95 latency, peak RSS, and the 4-vs-1 worker speedup — written to
   ``BENCH_shard.json`` at the repository root (uploaded as a CI artifact;
   gated by ``check_regression.py``).
+
+The int8 catalogue codec (:mod:`repro.quant`) rides both halves: the parity
+gate asserts the quantized path bit-identical to the dense scorer at small
+scale *and* on the 1M catalogue (``identical_quantized_topk`` — never
+skippable), and the scan section adds a 1-worker int8 run whose rate over
+the dense 1-worker rate is tracked as ``quantized_scan_speedup`` next to
+``quantized_bytes_per_item`` / ``dense_bytes_per_item``.
 
 The 4-worker-beats-1 assertion only runs on multi-core machines: on a
 single core, four compute-bound workers time-slice one ALU and honestly
@@ -39,7 +46,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import run_once
+from conftest import rss_peak_mb, run_once
 
 from repro.data.synthetic import synthetic_item_matrix_layout
 from repro.shard import LocalShardClient, ShardPool
@@ -88,6 +95,44 @@ def _parity_gate() -> dict:
     }
 
 
+def _quantized_parity_gate() -> bool:
+    """Small-scale bit-identity of the int8 codec against the dense scorer,
+    with adversarial rows folded in (all-zero row, duplicated rows for
+    boundary ties)."""
+    rng = np.random.default_rng(7)
+    matrix = rng.standard_normal((5000, DIM)).astype(np.float32)
+    matrix[100] = 0.0            # zero row: scale-0 guard
+    matrix[2048] = matrix[2047]  # duplicate straddling a block boundary
+    queries = rng.standard_normal((5, DIM)).astype(np.float32)
+    exclude = [[0, 3, 4999], [0], [0, 1024], [0, 2047], []]
+
+    ref_ids, ref_scores = LocalShardClient(matrix, 1).search(
+        queries, K, exclude=exclude)
+    ok = True
+    for num_shards in (1, 3):
+        ids, scores = LocalShardClient(matrix, num_shards,
+                                       codec="int8").search(
+            queries, K, exclude=exclude)
+        ok = (ok and np.array_equal(ref_ids, ids)
+              and np.array_equal(ref_scores, scores))
+    with ShardPool.from_matrix(matrix, 2, transport="memmap",
+                               timeout=POOL_TIMEOUT, codec="int8") as pool:
+        pool_ids, pool_scores = pool.search(queries, K, exclude=exclude)
+    return bool(ok and np.array_equal(ref_ids, pool_ids)
+                and np.array_equal(ref_scores, pool_scores))
+
+
+def _million_quantized_parity(layout) -> bool:
+    """Bit-identity of the int8 codec at the full 1M catalogue scale."""
+    rng = np.random.default_rng(99)
+    queries = rng.standard_normal((BATCH, layout.dim)).astype(np.float32)
+    ref = LocalShardClient.from_layout(layout, 1).search(queries, K)
+    quant = LocalShardClient.from_layout(layout, 1, codec="int8").search(
+        queries, K)
+    return bool(np.array_equal(ref[0], quant[0])
+                and np.array_equal(ref[1], quant[1]))
+
+
 def _scan_stream(pool, queries, num_requests):
     """Run the request stream; per-request latencies (ms) + total seconds."""
     latencies_ms = np.zeros(num_requests)
@@ -99,11 +144,12 @@ def _scan_stream(pool, queries, num_requests):
     return latencies_ms, time.perf_counter() - started
 
 
-def _bench_workers(layout, num_workers, num_requests) -> dict:
+def _bench_workers(layout, num_workers, num_requests,
+                   codec: str = "fp32") -> dict:
     rng = np.random.default_rng(num_workers)
     queries = rng.standard_normal((BATCH, layout.dim)).astype(np.float32)
     with ShardPool.from_layout(layout, num_workers,
-                               timeout=POOL_TIMEOUT) as pool:
+                               timeout=POOL_TIMEOUT, codec=codec) as pool:
         _scan_stream(pool, queries, 2)  # warm-up: page in the memmaps
         latencies, seconds = _scan_stream(pool, queries, num_requests)
     items_scanned = layout.num_rows * BATCH * num_requests
@@ -111,9 +157,11 @@ def _bench_workers(layout, num_workers, num_requests) -> dict:
         "workers": num_workers,
         "num_requests": num_requests,
         "batch": BATCH,
+        "codec": codec,
         "items_scanned_per_s": items_scanned / seconds,
         "scan_p50_ms": _percentile(latencies, 50),
         "scan_p95_ms": _percentile(latencies, 95),
+        "rss_peak_mb": round(rss_peak_mb(), 1),
     }
 
 
@@ -139,17 +187,28 @@ def _speedup_fields(single_rate: float, fanned_rate: float,
 def run_shard_bench(scale: str = "bench") -> dict:
     num_requests = 24 if scale == "full" else 10
     parity = _parity_gate()
+    quantized_parity = _quantized_parity_gate()
 
     directory = tempfile.mkdtemp(prefix="repro-bench-shard-")
     try:
         layout = synthetic_item_matrix_layout(directory, MILLION, DIM, seed=0)
         scans = {f"workers_{count}": _bench_workers(layout, count, num_requests)
                  for count in WORKER_COUNTS}
+        # Int8 sidecar: write once (outside any timed stream), then the
+        # quantized 1-worker scan and the full-scale parity spot-check.
+        layout.ensure_int8_sidecar()
+        scans["workers_1_int8"] = _bench_workers(layout, 1, num_requests,
+                                                 codec="int8")
+        quantized_parity = (quantized_parity
+                            and _million_quantized_parity(layout))
+        dense_bytes = layout.nbytes() / layout.num_rows
+        quant_bytes = layout.int8_nbytes() / layout.num_rows
     finally:
         shutil.rmtree(directory, ignore_errors=True)
 
     single = scans["workers_1"]["items_scanned_per_s"]
     fanned = scans[f"workers_{WORKER_COUNTS[-1]}"]["items_scanned_per_s"]
+    parity["identical_quantized_topk"] = quantized_parity
     result = {
         "k": K,
         "num_items": MILLION,
@@ -157,6 +216,12 @@ def run_shard_bench(scale: str = "bench") -> dict:
         "cpu_count": os.cpu_count(),
         "parity": parity,
         "scans": scans,
+        "dense_bytes_per_item": dense_bytes,
+        "quantized_bytes_per_item": quant_bytes,
+        # Same worker count, same layout, same request stream: the ratio is
+        # a same-run relative metric like scan_speedup.
+        "quantized_scan_speedup": (
+            scans["workers_1_int8"]["items_scanned_per_s"] / single),
     }
     result.update(_speedup_fields(single, fanned, result["cpu_count"]))
     return result
@@ -179,6 +244,9 @@ def test_shard_scatter_gather(benchmark, scale):
     else:
         print("scan_speedup skipped: "
               + result["skipped_metrics"]["scan_speedup"])
+    print(f"int8 codec: {result['quantized_bytes_per_item']:.0f} vs "
+          f"{result['dense_bytes_per_item']:.0f} bytes/item, "
+          f"{result['quantized_scan_speedup']:.2f}x 1-worker scan rate")
     RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n",
                            encoding="utf-8")
     print(f"wrote {RESULT_PATH}")
@@ -190,6 +258,17 @@ def test_shard_scatter_gather(benchmark, scale):
     assert result["parity"]["identical_topk_process"], (
         "sharded exact path diverged from the single-process scorer "
         "(process pool)"
+    )
+    assert result["parity"]["identical_quantized_topk"], (
+        "int8 catalogue codec diverged from the dense scorer"
+    )
+    assert result["quantized_scan_speedup"] >= 0.9, (
+        f"int8 scan fell below 0.9x the dense 1-worker rate "
+        f"({result['quantized_scan_speedup']:.2f}x)"
+    )
+    assert (result["quantized_bytes_per_item"]
+            <= 0.3 * result["dense_bytes_per_item"]), (
+        "int8 sidecar stores more than 0.3x the dense bytes per item"
     )
     if (result["cpu_count"] or 1) >= 2:
         assert result["scan_speedup"] > 1.0, (

@@ -131,6 +131,19 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "1: a spawned worker pool (process, "
                                    "default) or sequentially in-process "
                                    "(local)")
+    serve_parser.add_argument("--catalogue-codec", default="fp32",
+                              metavar="{fp32,int8}",
+                              help="catalogue storage for exact retrieval: "
+                                   "dense fp32 (default) or int8 codes with "
+                                   "exact fp32 block re-rank — bit-identical "
+                                   "top-K at ~0.28x the bytes per item "
+                                   "(requires float32 scoring)")
+    serve_parser.add_argument("--weight-storage", default="fp32",
+                              metavar="{fp32,fp16}",
+                              help="compiled-engine weight snapshot storage: "
+                                   "fp32 (default, bit-identical) or fp16 "
+                                   "(half the resident weight bytes, fp32 "
+                                   "compute, rank-parity gated)")
     serve_parser.add_argument("--requests", type=int, default=8,
                               help="number of test histories to serve "
                                    "(one-shot demo)")
@@ -409,9 +422,9 @@ def _command_serve(args) -> int:
     from .data.splits import leave_one_out_split
     from .experiments.persistence import load_checkpoint, load_model, save_checkpoint
     from .models import ModelConfig, build_model, display_label
-    from .serving import (SERVING_BACKENDS, SERVING_ENGINES, SHARD_BACKENDS,
-                          EmbeddingStore, Recommender, ServingConfig,
-                          measure_throughput)
+    from .serving import (CATALOGUE_CODECS, SERVING_BACKENDS, SERVING_ENGINES,
+                          SHARD_BACKENDS, WEIGHT_STORAGES, EmbeddingStore,
+                          Recommender, ServingConfig, measure_throughput)
     from .service import Deployment, ModelRegistry, RecommenderService, serve_http, serve_jsonl
     from .training import quick_train
 
@@ -431,12 +444,20 @@ def _command_serve(args) -> int:
     if args.shard_backend not in SHARD_BACKENDS:
         return _fail(f"unknown shard backend {args.shard_backend!r} "
                      f"(expected one of {', '.join(SHARD_BACKENDS)})")
+    if args.catalogue_codec not in CATALOGUE_CODECS:
+        return _fail(f"unknown catalogue codec {args.catalogue_codec!r} "
+                     f"(expected one of {', '.join(CATALOGUE_CODECS)})")
+    if args.weight_storage not in WEIGHT_STORAGES:
+        return _fail(f"unknown weight storage {args.weight_storage!r} "
+                     f"(expected one of {', '.join(WEIGHT_STORAGES)})")
     try:
         serving_config = ServingConfig(k=args.k, backend=args.backend,
                                        engine=args.engine,
                                        session_cache=args.session_cache,
                                        shards=args.shards,
-                                       shard_backend=args.shard_backend)
+                                       shard_backend=args.shard_backend,
+                                       catalogue_codec=args.catalogue_codec,
+                                       weight_storage=args.weight_storage)
     except ValueError as error:
         return _fail(str(error))
 
@@ -507,6 +528,16 @@ def _command_serve(args) -> int:
                                        feature_table=features)
                 print(f"saved checkpoint to {path}", file=log)
 
+        import numpy as np
+
+        if (args.weight_storage == "fp16"
+                and np.dtype(model.dtype) != np.float32):
+            # Fail here (not deep inside the first encode) so the message
+            # names the incompatibility instead of a compile traceback.
+            return _fail(
+                f"--weight-storage fp16 requires a float32 model, but "
+                f"{display_label(model.model_name)} holds "
+                f"{np.dtype(model.dtype).name} weights")
         recommender = Recommender(model, store=EmbeddingStore(features),
                                   train_sequences=split.train_sequences,
                                   config=serving_config)

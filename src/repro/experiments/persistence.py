@@ -297,6 +297,7 @@ def save_checkpoint(model, path: PathLike,
 _TREE_METADATA_FILE = "metadata.json"
 _TREE_PARAM_DIR = "param"
 _TREE_FEATURES_FILE = "feature_table.npy"
+_TREE_ITEM_MATRIX_DIR = "item_matrix"
 _TREE_FORMAT = "repro-checkpoint-tree-v1"
 
 
@@ -310,7 +311,8 @@ def _atomic_save_array(array: np.ndarray, path: Path) -> None:
 def save_checkpoint_tree(model, directory: PathLike,
                          feature_table: Optional[np.ndarray] = None,
                          build_kwargs: Optional[Dict[str, Any]] = None,
-                         extra: Optional[Dict[str, Any]] = None) -> Path:
+                         extra: Optional[Dict[str, Any]] = None,
+                         catalogue_codec: Optional[str] = None) -> Path:
     """Memmap-friendly checkpoint: same contents as :func:`save_checkpoint`,
     laid out as a directory instead of a compressed archive.
 
@@ -321,6 +323,13 @@ def save_checkpoint_tree(model, directory: PathLike,
     optional ``feature_table.npy``.  Arrays are written through temporary
     files; the metadata file is written last, so a directory with
     ``metadata.json`` present is complete.
+
+    ``catalogue_codec`` additionally materialises the float32 serving
+    catalogue under ``directory/item_matrix/`` as an
+    :class:`~repro.shard.layout.ItemMatrixLayout` — with the int8 sidecar
+    when ``"int8"`` — so shard workers can attach the frozen catalogue (and
+    its codes) zero-copy without re-deriving it from the parameters.  Use
+    :func:`checkpoint_item_matrix_layout` to open it.
     """
     directory = Path(directory)
     (directory / _TREE_PARAM_DIR).mkdir(parents=True, exist_ok=True)
@@ -334,14 +343,40 @@ def save_checkpoint_tree(model, directory: PathLike,
     if feature_table is not None:
         _atomic_save_array(np.asarray(feature_table, dtype=np.float64),
                            directory / _TREE_FEATURES_FILE)
+    if catalogue_codec is not None:
+        if catalogue_codec not in ("fp32", "int8"):
+            raise ValueError(f"catalogue_codec must be 'fp32' or 'int8', "
+                             f"got {catalogue_codec!r}")
+        from ..shard.layout import ItemMatrixLayout
+
+        # The same float32 cast the serving layer scores with, so a layout
+        # attached by shard workers reproduces in-process score bits.
+        matrix = model.inference_item_matrix().astype(np.float32, copy=False)
+        layout = ItemMatrixLayout.write(matrix,
+                                        directory / _TREE_ITEM_MATRIX_DIR)
+        if catalogue_codec == "int8":
+            layout.ensure_int8_sidecar()
+        metadata["catalogue_codec"] = catalogue_codec
     metadata["format"] = _TREE_FORMAT
     metadata["parameters"] = names
     metadata["has_feature_table"] = feature_table is not None
+    metadata["has_item_matrix_layout"] = catalogue_codec is not None
     temporary = directory / (_TREE_METADATA_FILE + ".tmp")
     temporary.write_text(json.dumps(metadata, indent=2, sort_keys=True),
                          encoding="utf-8")
     temporary.replace(directory / _TREE_METADATA_FILE)
     return directory
+
+
+def checkpoint_item_matrix_layout(directory: PathLike):
+    """Open the item-matrix layout saved inside a tree checkpoint.
+
+    Raises :class:`FileNotFoundError` when the checkpoint was saved without
+    ``catalogue_codec`` (no layout was materialised).
+    """
+    from ..shard.layout import ItemMatrixLayout
+
+    return ItemMatrixLayout.open(Path(directory) / _TREE_ITEM_MATRIX_DIR)
 
 
 def _load_checkpoint_tree(directory: Path, mmap: bool) -> Checkpoint:

@@ -50,11 +50,17 @@ class InferenceEngine:
         Max entries of the incremental session cache; ``0`` disables it.
     max_programs:
         LRU bound on shape-specialised programs kept per plan.
+    weight_storage:
+        ``"fp32"`` (default) keeps the bit-identity contract; ``"fp16"``
+        stores the plan's weight snapshot in half precision and casts it
+        back to fp32 arena buffers for compute — results are rank-parity
+        rather than bitwise, so it is opt-in like the session cache.
     """
 
     def __init__(self, model, session_cache_size: int = 0,
-                 max_programs: int = 8):
-        self.plan: InferencePlan = compile_plan(model, max_programs=max_programs)
+                 max_programs: int = 8, weight_storage: str = "fp32"):
+        self.plan: InferencePlan = compile_plan(
+            model, max_programs=max_programs, weight_storage=weight_storage)
         self.session_cache: Optional[SessionCache] = (
             SessionCache(session_cache_size) if session_cache_size > 0 else None)
         self._lock = threading.Lock()

@@ -302,17 +302,56 @@ class InferencePlan:
     family = "base"
     #: whether :meth:`append` supports exact suffix updates from cached state
     supports_incremental = False
+    #: attribute names holding the family's weight snapshot (demoted to fp16
+    #: when ``weight_storage="fp16"``, rematerialised to fp32 arena buffers
+    #: before any program references them)
+    _snapshot_attrs: Tuple[str, ...] = ()
 
     def __init__(self, model, max_programs: int = 8,
-                 arena: Optional[BufferArena] = None):
+                 arena: Optional[BufferArena] = None,
+                 weight_storage: str = "fp32"):
+        if weight_storage not in ("fp32", "fp16"):
+            raise ValueError(
+                f"weight_storage must be 'fp32' or 'fp16', got "
+                f"{weight_storage!r}")
         self.dtype = np.dtype(model.dtype)
+        if weight_storage == "fp16" and self.dtype != np.float32:
+            raise ValueError(
+                f"fp16 weight storage requires a float32 model, got "
+                f"{self.dtype.name}")
+        self.weight_storage = weight_storage
         self.hidden_dim = int(model.hidden_dim)
         self.max_seq_length = int(model.max_seq_length)
         self.model_name = getattr(model, "model_name", type(model).__name__)
         self.arena = arena if arena is not None else BufferArena()
         self.max_programs = max(1, int(max_programs))
         self._programs: "OrderedDict[Tuple[int, int], Callable]" = OrderedDict()
+        self._materialised: Dict[str, object] = {}
         self._snapshot(model)
+        if weight_storage == "fp16":
+            from ..quant.weights import demote_weights
+
+            for name in self._snapshot_attrs:
+                setattr(self, name, demote_weights(getattr(self, name)))
+
+    def _weights(self, name: str):
+        """The fp32 compute view of one snapshot attribute.
+
+        fp32 storage returns the snapshot itself; fp16 storage casts the
+        demoted tree into arena buffers once (shared by every shape bucket —
+        weights are bucket-independent) and memoises the fp32 view.
+        """
+        if self.weight_storage == "fp32":
+            return getattr(self, name)
+        view = self._materialised.get(name)
+        if view is None:
+            from ..quant.weights import materialise_weights
+
+            view = materialise_weights(
+                self.arena, f"{self.family}/weights/{name}",
+                getattr(self, name))
+            self._materialised[name] = view
+        return view
 
     # -- compilation ---------------------------------------------------- #
     def _snapshot(self, model) -> None:
@@ -395,6 +434,7 @@ class InferencePlan:
             "family": self.family,
             "model": self.model_name,
             "dtype": self.dtype.name,
+            "weight_storage": self.weight_storage,
             "programs": self.num_programs,
             "incremental": self.supports_incremental,
             "arena": self.arena.stats(),
@@ -408,6 +448,7 @@ class TransformerPlan(InferencePlan):
     """Compiled form of ``SequentialRecommender.encode_sequence``."""
 
     family = "transformer"
+    _snapshot_attrs = ("_stack",)
 
     def _snapshot(self, model) -> None:
         self._stack = _snap_encoder_stack(model, model.encoder,
@@ -415,10 +456,11 @@ class TransformerPlan(InferencePlan):
 
     def _build_program(self, batch: int, seq: int) -> Callable:
         tag = self._bucket_tag(batch, seq)
+        stack = self._weights("_stack")
         fill_mask, mask = _make_mask_fill(self.arena, tag, batch, seq,
-                                          self._stack["causal"])
+                                          stack["causal"])
         run_stack, last_hidden = _build_stack_program(
-            self.arena, tag, batch, seq, self.dtype, self._stack, mask)
+            self.arena, tag, batch, seq, self.dtype, stack, mask)
 
         def run(item_ids, lengths, matrix):
             fill_mask(lengths)
@@ -441,6 +483,8 @@ class FDSAPlan(InferencePlan):
     """
 
     family = "fdsa"
+    _snapshot_attrs = ("_item_stack", "_feature_stack",
+                       "_projected_features", "_fusion")
 
     def _snapshot(self, model) -> None:
         from .. import nn
@@ -461,17 +505,19 @@ class FDSAPlan(InferencePlan):
     def _build_program(self, batch: int, seq: int) -> Callable:
         tag = self._bucket_tag(batch, seq)
         dtype, hidden_dim = self.dtype, self.hidden_dim
+        item_stack = self._weights("_item_stack")
+        feature_stack = self._weights("_feature_stack")
         fill_mask, mask = _make_mask_fill(self.arena, tag, batch, seq,
-                                          self._item_stack["causal"])
+                                          item_stack["causal"])
         run_item, item_last = _build_stack_program(
-            self.arena, f"{tag}/item", batch, seq, dtype, self._item_stack, mask)
+            self.arena, f"{tag}/item", batch, seq, dtype, item_stack, mask)
         run_feature, feature_last = _build_stack_program(
             self.arena, f"{tag}/feature", batch, seq, dtype,
-            self._feature_stack, mask)
+            feature_stack, mask)
         concat = self.arena.get(f"{tag}/concat", (batch, 2 * hidden_dim), dtype)
         fused = self.arena.get(f"{tag}/fused", (batch, hidden_dim), dtype)
-        weight, bias = self._fusion
-        projected = self._projected_features
+        weight, bias = self._weights("_fusion")
+        projected = self._weights("_projected_features")
 
         def run(item_ids, lengths, matrix, fill_mask=fill_mask,
                 run_item=run_item, run_feature=run_feature,
@@ -505,6 +551,7 @@ class GRUPlan(InferencePlan):
 
     family = "gru"
     supports_incremental = True
+    _snapshot_attrs = ("_reset", "_update", "_candidate")
 
     def _snapshot(self, model) -> None:
         cell = model.cell
@@ -527,7 +574,9 @@ class GRUPlan(InferencePlan):
         real = arena.get(f"{tag}/real", (rows, 1), dtype)
         real_inv = arena.get(f"{tag}/real_inv", (rows, 1), dtype)
         hidden = arena.get(f"{tag}/hidden", (rows, hidden_dim), dtype)
-        (wr, br), (wu, bu), (wc, bc) = self._reset, self._update, self._candidate
+        (wr, br), (wu, bu), (wc, bc) = (self._weights("_reset"),
+                                        self._weights("_update"),
+                                        self._weights("_candidate"))
 
         def sigmoid(buf):
             # Tensor.sigmoid: 1.0 / (1.0 + exp(-x)), op for op.
@@ -705,7 +754,8 @@ class MeanPoolPlan(InferencePlan):
 # Dispatch
 # --------------------------------------------------------------------- #
 def compile_plan(model, max_programs: int = 8,
-                 arena: Optional[BufferArena] = None) -> InferencePlan:
+                 arena: Optional[BufferArena] = None,
+                 weight_storage: str = "fp32") -> InferencePlan:
     """Compile a trained model into the graph-free plan for its family.
 
     Dispatch is by encode implementation, not by name: a subclass that
@@ -719,26 +769,28 @@ def compile_plan(model, max_programs: int = 8,
     from ..models.gru4rec import GRU4Rec
 
     encode = type(model).encode_sequence
+    kwargs = dict(max_programs=max_programs, arena=arena,
+                  weight_storage=weight_storage)
     if isinstance(model, GRU4Rec):
         if encode is not GRU4Rec.encode_sequence:
             raise UnsupportedModelError(
                 f"{type(model).__name__} overrides GRU4Rec.encode_sequence")
-        return GRUPlan(model, max_programs=max_programs, arena=arena)
+        return GRUPlan(model, **kwargs)
     if isinstance(model, FDSA):
         if encode is not FDSA.encode_sequence:
             raise UnsupportedModelError(
                 f"{type(model).__name__} overrides FDSA.encode_sequence")
-        return FDSAPlan(model, max_programs=max_programs, arena=arena)
+        return FDSAPlan(model, **kwargs)
     if isinstance(model, _MeanPoolingRecommender):
         if encode is not _MeanPoolingRecommender.encode_sequence:
             raise UnsupportedModelError(
                 f"{type(model).__name__} overrides the mean-pooling encoder")
-        return MeanPoolPlan(model, max_programs=max_programs, arena=arena)
+        return MeanPoolPlan(model, **kwargs)
     if isinstance(model, SequentialRecommender):
         if encode is not SequentialRecommender.encode_sequence:
             raise UnsupportedModelError(
                 f"{type(model).__name__} overrides encode_sequence; no "
                 f"compiled plan matches its forward")
-        return TransformerPlan(model, max_programs=max_programs, arena=arena)
+        return TransformerPlan(model, **kwargs)
     raise UnsupportedModelError(
         f"cannot compile {type(model).__name__}: not a SequentialRecommender")

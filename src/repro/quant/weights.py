@@ -1,0 +1,73 @@
+"""fp16-storage / fp32-compute weight trees for compiled inference plans.
+
+A plan snapshot is a nested structure of dicts / lists / tuples whose leaves
+are numpy arrays (plus scalars like layer-norm eps and head counts).
+:func:`demote_weights` rewrites the float32 leaves to float16 — halving the
+snapshot's resident size — and :func:`materialise_weights` walks the same
+structure casting the fp16 leaves back into float32
+:class:`~repro.infer.arena.BufferArena` buffers, so the compiled programs
+still run entirely in fp32.
+
+The round trip ``fp32 -> fp16 -> fp32`` rounds each weight to the nearest
+half-precision value, so encodings (and scores) are *not* bit-identical to
+the fp32-storage plan; the serving layer treats ``weight_storage="fp16"`` as
+an opt-in gated on top-K rank parity, like ``session_cache``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def demote_weights(obj: Any) -> Any:
+    """Recursively store every float32 array leaf as float16.
+
+    Non-float32 leaves (int index tables, bool masks, python scalars,
+    ``None`` biases) pass through untouched, as do float64 leaves — a
+    float64 model is rejected before demotion ever runs, so hitting one here
+    is a programming error worth surfacing.
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.dtype == np.float32:
+            return obj.astype(np.float16)
+        if obj.dtype == np.float64:
+            raise ValueError(
+                "fp16 weight storage requires a float32 model "
+                "(found a float64 weight array)")
+        return obj
+    if isinstance(obj, dict):
+        return {key: demote_weights(value) for key, value in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(demote_weights(value) for value in obj)
+    if isinstance(obj, list):
+        return [demote_weights(value) for value in obj]
+    return obj
+
+
+def materialise_weights(arena, tag: str, obj: Any) -> Any:
+    """Cast the fp16 leaves of a demoted snapshot into fp32 arena buffers.
+
+    Returns a structure shaped exactly like ``obj`` in which every float16
+    array has been replaced by a float32 buffer owned by ``arena`` under
+    ``tag`` (one buffer per leaf path, so ``arena.release_prefix(tag)``
+    reclaims the whole compute copy).  Idempotent for a given arena/tag:
+    ``arena.get`` returns the same buffer for the same name and shape.
+    """
+    if isinstance(obj, np.ndarray):
+        if obj.dtype == np.float16:
+            buffer = arena.get(tag, obj.shape, np.float32)
+            np.copyto(buffer, obj)
+            return buffer
+        return obj
+    if isinstance(obj, dict):
+        return {key: materialise_weights(arena, f"{tag}/{key}", value)
+                for key, value in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(materialise_weights(arena, f"{tag}/{index}", value)
+                     for index, value in enumerate(obj))
+    if isinstance(obj, list):
+        return [materialise_weights(arena, f"{tag}/{index}", value)
+                for index, value in enumerate(obj)]
+    return obj

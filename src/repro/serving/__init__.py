@@ -16,8 +16,9 @@ into a cache-backed top-K service:
   ``repro serve`` CLI and the serving micro-benchmark.
 """
 
-from .config import (SERVING_BACKENDS, SERVING_ENGINES, SHARD_BACKENDS,
-                     ServingConfig, resolve_config)
+from .config import (CATALOGUE_CODECS, SERVING_BACKENDS, SERVING_ENGINES,
+                     SHARD_BACKENDS, WEIGHT_STORAGES, ServingConfig,
+                     resolve_config)
 from .generations import (GenerationClock, GenerationFollower,
                           GenerationalCache)
 from .recommender import Recommender, TopKResult, full_sort_topk
@@ -25,6 +26,7 @@ from .store import EmbeddingStore
 from .throughput import ThroughputReport, measure_throughput, per_sequence_topk
 
 __all__ = [
+    "CATALOGUE_CODECS",
     "EmbeddingStore",
     "GenerationClock",
     "GenerationFollower",
@@ -34,6 +36,7 @@ __all__ = [
     "SERVING_ENGINES",
     "SHARD_BACKENDS",
     "ServingConfig",
+    "WEIGHT_STORAGES",
     "ThroughputReport",
     "TopKResult",
     "full_sort_topk",

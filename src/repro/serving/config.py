@@ -30,6 +30,18 @@ SERVING_ENGINES = ("graph", "compiled")
 #: and to every other shard count — see :mod:`repro.shard`.
 SHARD_BACKENDS = ("local", "process")
 
+#: catalogue storage codecs for exact retrieval: ``"fp32"`` scores the dense
+#: matrix directly; ``"int8"`` scans per-item symmetric int8 codes and
+#: exactly re-ranks the shortlisted blocks against the fp32 rows, so top-K
+#: ids AND scores stay bit-identical at ~0.28x the bytes per item
+#: (:mod:`repro.quant`).
+CATALOGUE_CODECS = ("fp32", "int8")
+
+#: weight storage for the compiled inference plans: ``"fp32"`` keeps the
+#: bit-identity contract; ``"fp16"`` halves the snapshot's resident bytes
+#: and casts back to fp32 for compute (rank-parity gated, opt-in).
+WEIGHT_STORAGES = ("fp32", "fp16")
+
 
 @dataclass(frozen=True)
 class ServingConfig:
@@ -76,6 +88,18 @@ class ServingConfig:
         (default) scatters over a spawned worker pool holding the matrix
         via zero-copy memmap, ``"local"`` scores the shards sequentially in
         the serving process (useful for tests and single-core machines).
+    catalogue_codec:
+        Storage codec for exact catalogue retrieval: ``"fp32"`` (default)
+        scores the dense matrix, ``"int8"`` scans per-item symmetric int8
+        codes and exactly re-ranks the shortlist against the fp32 rows —
+        bit-identical ids and scores at roughly 0.28x the catalogue bytes
+        per item.  Requires ``score_dtype="float32"`` (the re-rank parity
+        argument is a float32 contract).
+    weight_storage:
+        Weight snapshot precision for the compiled engine: ``"fp32"``
+        (default, bit-identical) or ``"fp16"`` (half the resident weight
+        bytes, fp32 compute, rank-parity rather than bitwise — opt-in like
+        ``session_cache``).
     """
 
     k: int = 10
@@ -87,6 +111,8 @@ class ServingConfig:
     session_cache: int = 0
     shards: int = 1
     shard_backend: str = "process"
+    catalogue_codec: str = "fp32"
+    weight_storage: str = "fp32"
 
     def __post_init__(self) -> None:
         if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
@@ -128,6 +154,21 @@ class ServingConfig:
                 f"shard_backend must be one of {SHARD_BACKENDS}, "
                 f"got {self.shard_backend!r}"
             )
+        if self.catalogue_codec not in CATALOGUE_CODECS:
+            raise ValueError(
+                f"catalogue_codec must be one of {CATALOGUE_CODECS}, "
+                f"got {self.catalogue_codec!r}"
+            )
+        if self.catalogue_codec == "int8" and canonical != "float32":
+            raise ValueError(
+                f"catalogue_codec='int8' requires score_dtype='float32' "
+                f"(got {canonical!r}); use the fp32 codec for float64 scoring"
+            )
+        if self.weight_storage not in WEIGHT_STORAGES:
+            raise ValueError(
+                f"weight_storage must be one of {WEIGHT_STORAGES}, "
+                f"got {self.weight_storage!r}"
+            )
 
     @property
     def np_dtype(self) -> np.dtype:
@@ -165,6 +206,8 @@ class ServingConfig:
             "session_cache": self.session_cache,
             "shards": self.shards,
             "shard_backend": self.shard_backend,
+            "catalogue_codec": self.catalogue_codec,
+            "weight_storage": self.weight_storage,
         }
 
     @classmethod

@@ -119,8 +119,11 @@ class _ItemMatrixCache:
         self.cast_count = 0
         #: number of model item-matrix derivations performed
         self.derive_count = 0
+        #: number of int8 quantizations actually performed (not cache hits)
+        self.quantize_count = 0
         self._native: Optional[np.ndarray] = None
         self._casts: Dict[str, np.ndarray] = {}
+        self._quantized = None
         self._built_generation = self.clock.value
         self._lock = threading.Lock()
 
@@ -135,6 +138,10 @@ class _ItemMatrixCache:
             self._built_generation = current
             self._native = None
             self._casts.clear()
+            # Codes and scales lapse with the matrix they were derived from:
+            # one clock advance invalidates both coherently, so a refreshed
+            # catalogue can never be scanned with stale int8 codes.
+            self._quantized = None
 
     def native(self) -> np.ndarray:
         """The model-precision candidate matrix (derived once per generation)."""
@@ -160,6 +167,19 @@ class _ItemMatrixCache:
                     self.cast_count += 1
                 self._casts[canonical] = cached
             return cached
+
+    def quantized(self):
+        """Int8 codes + scales over the float32 cast (built once per
+        generation, see :func:`repro.quant.codec.quantize_matrix`)."""
+        matrix = self.cast(np.float32)
+        with self._lock:
+            self._reconcile_locked()
+            if self._quantized is None:
+                from ..quant.codec import quantize_matrix
+
+                self._quantized = quantize_matrix(matrix)
+                self.quantize_count += 1
+            return self._quantized
 
     def refresh(self) -> None:
         """Invalidate after the model changed: one clock advance, observed
@@ -381,6 +401,7 @@ class Recommender:
                         slot.engine = InferenceEngine(
                             self.model,
                             session_cache_size=self.config.session_cache,
+                            weight_storage=self.config.weight_storage,
                         )
                     except UnsupportedModelError:
                         slot.unsupported = True
@@ -455,22 +476,32 @@ class Recommender:
         with self._shard_lock:
             if self._shard_client is None:
                 matrix = self.item_matrix()
+                codec = self.config.catalogue_codec
+                # The degradation fallback reuses the memoised quantization:
+                # deterministic codes mean the pool's sidecar and the local
+                # client score identical int8 artefacts, so degraded results
+                # keep the bit-identity contract codec included.
+                quantized = (self._matrix_cache.quantized()
+                             if codec == "int8" else None)
+                def _local_client(matrix=matrix, quantized=quantized,
+                                  codec=codec):
+                    return LocalShardClient(
+                        matrix, self.config.shards,
+                        index_params=self.index_params,
+                        codec=codec, quantized=quantized)
+
                 if self.config.shard_backend == "process":
                     pool = ShardPool.from_matrix(
                         matrix, self.config.shards, transport="memmap",
-                        index_params=self.index_params)
+                        index_params=self.index_params, codec=codec)
                     self._shard_client = ResilientShardClient(
                         pool,
-                        fallback_factory=lambda matrix=matrix: LocalShardClient(
-                            matrix, self.config.shards,
-                            index_params=self.index_params),
+                        fallback_factory=_local_client,
                         retry=RetryPolicy(max_retries=1, base_backoff_ms=20.0,
                                           seed=0),
                         breaker=CircuitBreaker())
                 else:
-                    self._shard_client = LocalShardClient(
-                        matrix, self.config.shards,
-                        index_params=self.index_params)
+                    self._shard_client = _local_client()
             return self._shard_client
 
     def shard_stats(self) -> Optional[Dict[str, object]]:
@@ -746,6 +777,25 @@ class Recommender:
                 f"{self.config.session_cache}, the config asks for "
                 f"{config.session_cache}"
             )
+        if config.catalogue_codec != self.config.catalogue_codec:
+            # The codec decides what the caches hold (int8 codes alongside —
+            # or instead of resident — fp32 rows, per-worker sidecar
+            # attachments): structural, not per-call state.
+            raise ValueError(
+                f"per-call catalogue_codec overrides are not supported: this "
+                f"recommender's catalogue is served as "
+                f"{self.config.catalogue_codec!r}, the config asks for "
+                f"{config.catalogue_codec!r}"
+            )
+        if config.weight_storage != self.config.weight_storage:
+            # The weight snapshot is demoted (or not) when the plan compiles;
+            # like the session cache it cannot change per call.
+            raise ValueError(
+                f"per-call weight_storage overrides are not supported: this "
+                f"recommender's engine stores weights as "
+                f"{self.config.weight_storage!r}, the config asks for "
+                f"{config.weight_storage!r}"
+            )
         if (config.shards != self.config.shards
                 or config.shard_backend != self.config.shard_backend):
             # The shard pool (worker processes, partition ranges, per-shard
@@ -776,7 +826,13 @@ class Recommender:
         ``(-score, id)`` order holds even at duplicate-score selection
         boundaries, which is what keeps single-process and scatter-gather
         results bit-identical under ties.
+
+        With ``catalogue_codec="int8"`` the warm rows route through the
+        quantized scan + fp32 block re-rank instead — same ids, same score
+        bits (see :mod:`repro.quant`).
         """
+        if self.config.catalogue_codec == "int8":
+            return self._topk_exact_quantized(sequences, config)
         timing: Dict[str, float] = {"ms": 0.0}
         score_started = time.perf_counter()
         scores, cold = self.score(sequences, exclude_seen=config.exclude_seen,
@@ -790,6 +846,81 @@ class Recommender:
         score_ms = max(0.0, (merge_started - score_started) * 1000.0
                        - timing["ms"])
         return TopKResult(items=items, scores=top_scores, cold=cold,
+                          engine=self._engine_label(config.engine),
+                          encode_ms=round(timing["ms"], 3),
+                          score_ms=round(score_ms, 3),
+                          merge_ms=round(merge_ms, 3))
+
+    def _topk_exact_quantized(self, sequences: Sequence[Sequence[int]],
+                              config: ServingConfig) -> TopKResult:
+        """Exact retrieval over the int8-quantized catalogue (in-process).
+
+        Warm rows are encoded exactly like the dense path, then scored by
+        :func:`repro.quant.scorer.quantized_topk`: an int8 scan shortlists
+        candidate blocks, and the shortlisted blocks are re-scored with the
+        same absolute-grid fp32 GEMMs as the dense kernel — the returned ids
+        *and* scores are bit-identical to :meth:`_topk_exact` on the fp32
+        codec, while the scan touches ~0.28x the catalogue bytes.  Masking
+        semantics match the dense path: the padding item and (under
+        ``exclude_seen``) the history items score ``-inf`` but stay
+        candidates.  Cold rows score in their fallback space dense, exactly
+        as every other path does — the codec only covers the catalogue scan.
+        """
+        from ..quant.scorer import quantized_topk
+
+        histories, servable, cold = self._classify(sequences)
+        batch_size = len(histories)
+        k = min(config.k, self.num_items)
+        items = np.empty((batch_size, k), dtype=np.int64)
+        scores = np.empty((batch_size, k), dtype=self.dtype)
+
+        timing: Dict[str, float] = {"ms": 0.0}
+        score_ms = 0.0
+        merge_ms = 0.0
+        warm_rows = np.flatnonzero(~cold)
+        if warm_rows.size:
+            score_started = time.perf_counter()
+            encode, timing = self._encoder(config.engine)
+            users = self._encode_warm_rows(servable, warm_rows,
+                                           encoder=encode)
+            matrix = self.item_matrix()
+            quantized = self._matrix_cache.quantized()
+            exclude = []
+            for row in warm_rows:
+                masked = [0]  # the padding item is never recommendable
+                if config.exclude_seen and histories[row]:
+                    masked.extend(histories[row])
+                exclude.append(masked)
+            warm_items, warm_scores = quantized_topk(
+                np.asarray(users), matrix, quantized, 0, matrix.shape[0], k,
+                exclude)
+            merge_started = time.perf_counter()
+            items[warm_rows] = warm_items
+            scores[warm_rows] = warm_scores.astype(self.dtype, copy=False)
+            score_ms += max(0.0, (merge_started - score_started) * 1000.0
+                            - timing["ms"])
+            merge_ms += (time.perf_counter() - merge_started) * 1000.0
+
+        cold_rows = np.flatnonzero(cold)
+        if cold_rows.size:
+            score_started = time.perf_counter()
+            fallback = self._fallback_scores(
+                [histories[row] for row in cold_rows])
+            fallback[:, 0] = -np.inf
+            if config.exclude_seen:
+                for local, row in enumerate(cold_rows):
+                    if histories[row]:
+                        fallback[local, histories[row]] = -np.inf
+            merge_started = time.perf_counter()
+            all_ids = np.broadcast_to(
+                np.arange(fallback.shape[1], dtype=np.int64), fallback.shape)
+            cold_items, cold_scores = topk_best_first(all_ids, fallback, k)
+            items[cold_rows] = cold_items
+            scores[cold_rows] = cold_scores
+            score_ms += (merge_started - score_started) * 1000.0
+            merge_ms += (time.perf_counter() - merge_started) * 1000.0
+
+        return TopKResult(items=items, scores=scores, cold=cold,
                           engine=self._engine_label(config.engine),
                           encode_ms=round(timing["ms"], 3),
                           score_ms=round(score_ms, 3),

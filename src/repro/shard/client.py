@@ -31,7 +31,8 @@ def single_shard_search(matrix: np.ndarray, lo: int, hi: int,
                         exclude: Optional[Sequence[Sequence[int]]],
                         backend: str, overfetch: int, block_rows: int,
                         index_params: Optional[Dict],
-                        index_cache: Dict[str, ItemIndex]
+                        index_cache: Dict[str, ItemIndex],
+                        quantized=None
                         ) -> Tuple[np.ndarray, np.ndarray]:
     """Answer one shard's part of a search: the shared worker kernel.
 
@@ -41,8 +42,20 @@ def single_shard_search(matrix: np.ndarray, lo: int, hi: int,
     :func:`~repro.shard.scoring.searchable_rows` of the range) and searches
     it.  Returns a best-first ``(ids, scores)`` candidate block ready for
     :func:`~repro.shard.merge.merge_topk`.
+
+    ``quantized`` (a :class:`~repro.quant.codec.QuantizedMatrix` over the
+    full matrix, or ``None``) switches the exact path to the int8 scan +
+    fp32 block re-rank of :func:`repro.quant.scorer.quantized_topk` — the
+    returned ids and scores stay bit-identical to the dense kernel, so the
+    codec is invisible to the merge.  ANN backends ignore it (they score
+    through their own compressed structures already).
     """
     if backend == "exact":
+        if quantized is not None:
+            from ..quant.scorer import quantized_topk
+
+            return quantized_topk(queries, matrix, quantized, lo, hi, k,
+                                  exclude, block_rows=block_rows)
         return exact_shard_topk(queries, matrix, lo, hi, k, exclude,
                                 block_rows)
     if backend not in index_cache:
@@ -120,7 +133,8 @@ class LocalShardClient(ShardClient):
 
     def __init__(self, matrix: np.ndarray, num_shards: int = 1,
                  block_rows: int = DEFAULT_BLOCK_ROWS,
-                 index_params: Optional[Dict] = None):
+                 index_params: Optional[Dict] = None,
+                 codec: str = "fp32", quantized=None):
         matrix = matrix if matrix.ndim == 2 else np.atleast_2d(matrix)
         self._matrix = matrix
         self.block_rows = int(block_rows)
@@ -129,12 +143,26 @@ class LocalShardClient(ShardClient):
         self.index_params = dict(index_params or {})
         self._index_caches: List[Dict[str, ItemIndex]] = [
             {} for _ in self.ranges]
+        if codec not in ("fp32", "int8"):
+            raise ValueError(f"codec must be 'fp32' or 'int8', got {codec!r}")
+        self.codec = codec
+        if codec == "int8" and quantized is None:
+            from ..quant.codec import quantize_matrix
+
+            quantized = quantize_matrix(np.asarray(matrix))
+        self._quantized = quantized if codec == "int8" else None
 
     @classmethod
     def from_layout(cls, layout, num_shards: int = 1,
-                    index_params: Optional[Dict] = None) -> "LocalShardClient":
+                    index_params: Optional[Dict] = None,
+                    codec: str = "fp32") -> "LocalShardClient":
+        quantized = None
+        if codec == "int8":
+            layout.ensure_int8_sidecar()
+            quantized = layout.quantized()
         return cls(layout.matrix(), num_shards=num_shards,
-                   block_rows=layout.block_rows, index_params=index_params)
+                   block_rows=layout.block_rows, index_params=index_params,
+                   codec=codec, quantized=quantized)
 
     @property
     def num_rows(self) -> int:
@@ -153,7 +181,8 @@ class LocalShardClient(ShardClient):
         parts = [
             single_shard_search(self._matrix, lo, hi, queries, k, exclude,
                                 backend, overfetch, self.block_rows,
-                                self.index_params, self._index_caches[shard])
+                                self.index_params, self._index_caches[shard],
+                                self._quantized)
             for shard, (lo, hi) in enumerate(self.ranges)
         ]
         return merge_topk(parts, k)
@@ -167,6 +196,7 @@ class LocalShardClient(ShardClient):
             "ranges": list(self.ranges),
             "block_rows": self.block_rows,
             "transport": "local",
+            "codec": self.codec,
             "restarts": 0,
             "timeouts": 0,
         }

@@ -16,6 +16,12 @@ range: the OS page cache backs all mappings with one physical copy, so
 adding workers adds no RAM.  The recorded ``block_rows`` pins the scoring
 grid (see :mod:`repro.shard.scoring`) so every client of one layout agrees
 on score bits.
+
+A layout may additionally carry an **int8 sidecar** (``item_codes.npy`` +
+``item_scales.npy``, see :mod:`repro.quant.codec`): per-item symmetric int8
+codes that workers attach zero-copy exactly like the matrix, letting the
+``int8`` catalogue codec scan ~0.28x the bytes per item while the fp32
+``.npy`` stays available for the exact block re-rank.
 """
 
 from __future__ import annotations
@@ -34,6 +40,15 @@ PathLike = Union[str, Path]
 
 _MATRIX_FILE = "item_matrix.npy"
 _META_FILE = "layout.json"
+_CODES_FILE = "item_codes.npy"
+_SCALES_FILE = "item_scales.npy"
+
+
+def _atomic_npy(array: np.ndarray, path: Path) -> None:
+    temporary = path.with_name(path.name + ".tmp")
+    with open(temporary, "wb") as handle:
+        np.save(handle, array)
+    temporary.replace(path)
 
 
 @dataclass(frozen=True)
@@ -50,12 +65,62 @@ class ItemMatrixLayout:
     def matrix_path(self) -> Path:
         return self.directory / _MATRIX_FILE
 
+    @property
+    def codes_path(self) -> Path:
+        return self.directory / _CODES_FILE
+
+    @property
+    def scales_path(self) -> Path:
+        return self.directory / _SCALES_FILE
+
     def matrix(self, mode: str = "r") -> np.ndarray:
         """The matrix as a read-only (by default) memory map."""
         return np.load(self.matrix_path, mmap_mode=mode)
 
     def nbytes(self) -> int:
         return self.num_rows * self.dim * np.dtype(self.dtype).itemsize
+
+    # ------------------------------------------------------------------ #
+    # Int8 sidecar
+    # ------------------------------------------------------------------ #
+    def has_int8_sidecar(self) -> bool:
+        return self.codes_path.exists() and self.scales_path.exists()
+
+    def ensure_int8_sidecar(self) -> None:
+        """Write the int8 codes + scales next to the matrix if missing.
+
+        Quantization is deterministic, so the sidecar is a pure cache: any
+        writer produces the same bytes, and the atomic rename makes a racing
+        double-write harmless.  Requires a float32 matrix.
+        """
+        if self.has_int8_sidecar():
+            return
+        from ..quant.codec import quantize_matrix
+
+        quantized = quantize_matrix(np.asarray(self.matrix()))
+        _atomic_npy(quantized.codes, self.codes_path)
+        _atomic_npy(quantized.scales, self.scales_path)
+
+    def quantized(self, mode: str = "r"):
+        """The int8 sidecar as a zero-copy :class:`~repro.quant.codec.QuantizedMatrix`.
+
+        Codes stay a memory map (the OS page cache shares them across
+        workers exactly like the fp32 matrix); scales and the derived norm
+        arrays are small and materialised per process.
+        """
+        from ..quant.codec import QuantizedMatrix
+
+        if not self.has_int8_sidecar():
+            raise FileNotFoundError(
+                f"{self.directory!s} has no int8 sidecar; call "
+                f"ensure_int8_sidecar() first")
+        codes = np.load(self.codes_path, mmap_mode=mode)
+        scales = np.asarray(np.load(self.scales_path))
+        return QuantizedMatrix.from_parts(codes, scales)
+
+    def int8_nbytes(self) -> int:
+        """Stored bytes of the int8 sidecar representation."""
+        return self.num_rows * (self.dim + np.dtype(np.float32).itemsize)
 
     # ------------------------------------------------------------------ #
     # Construction

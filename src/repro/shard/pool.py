@@ -135,7 +135,14 @@ class ShardPool(ShardClient):
                  index_params: Optional[Dict] = None,
                  timeout: float = 60.0,
                  mp_context: str = "spawn",
-                 segment=None, owned_dir: Optional[str] = None):
+                 segment=None, owned_dir: Optional[str] = None,
+                 codec: str = "fp32"):
+        if codec not in ("fp32", "int8"):
+            raise ValueError(f"codec must be 'fp32' or 'int8', got {codec!r}")
+        if codec == "int8" and source.get("kind") != "layout":
+            raise ValueError(
+                "the int8 catalogue codec requires the memmap transport")
+        self.codec = codec
         self._source = source
         self.ranges = list(ranges)
         self._num_rows = int(num_rows)
@@ -170,21 +177,27 @@ class ShardPool(ShardClient):
                     transport: str = "memmap",
                     block_rows: int = DEFAULT_BLOCK_ROWS,
                     index_params: Optional[Dict] = None,
-                    timeout: float = 60.0) -> "ShardPool":
+                    timeout: float = 60.0,
+                    codec: str = "fp32") -> "ShardPool":
         """Shard an in-memory matrix, copying it once into an owned
         zero-copy transport (a temporary layout directory or a shared-memory
         segment) that is removed on :meth:`close`."""
         if transport not in TRANSPORTS:
             raise ValueError(f"transport must be one of {TRANSPORTS}, "
                              f"got {transport!r}")
+        if codec == "int8" and transport != "memmap":
+            raise ValueError(
+                "the int8 catalogue codec requires the memmap transport")
         matrix = np.ascontiguousarray(matrix)
         ranges = partition_ranges(matrix.shape[0], num_shards, block_rows)
         common = dict(num_rows=matrix.shape[0], dim=matrix.shape[1],
                       dtype=matrix.dtype.name, block_rows=block_rows,
-                      index_params=index_params, timeout=timeout)
+                      index_params=index_params, timeout=timeout, codec=codec)
         if transport == "memmap":
             directory = tempfile.mkdtemp(prefix="repro-shard-")
             layout = ItemMatrixLayout.write(matrix, directory, block_rows)
+            if codec == "int8":
+                layout.ensure_int8_sidecar()
             return cls({"kind": "layout", "directory": str(layout.directory)},
                        ranges, owned_dir=directory, **common)
         from multiprocessing import shared_memory
@@ -208,15 +221,24 @@ class ShardPool(ShardClient):
     @classmethod
     def from_layout(cls, layout: ItemMatrixLayout, num_shards: int, *,
                     index_params: Optional[Dict] = None,
-                    timeout: float = 60.0) -> "ShardPool":
+                    timeout: float = 60.0,
+                    codec: str = "fp32") -> "ShardPool":
         """Serve an existing on-disk layout (1M-item matrices never enter
-        this process's RAM — workers memmap their row ranges directly)."""
+        this process's RAM — workers memmap their row ranges directly).
+
+        ``codec="int8"`` writes the layout's int8 sidecar if it is missing
+        (a deterministic, idempotent cache next to the matrix) so every
+        worker attaches the codes zero-copy — the fp32 scan working set per
+        worker shrinks to the shortlisted re-rank blocks.
+        """
+        if codec == "int8":
+            layout.ensure_int8_sidecar()
         ranges = partition_ranges(layout.num_rows, num_shards,
                                   layout.block_rows)
         return cls({"kind": "layout", "directory": str(layout.directory)},
                    ranges, num_rows=layout.num_rows, dim=layout.dim,
                    dtype=layout.dtype, block_rows=layout.block_rows,
-                   index_params=index_params, timeout=timeout)
+                   index_params=index_params, timeout=timeout, codec=codec)
 
     # ------------------------------------------------------------------ #
     # ShardClient surface
@@ -281,6 +303,7 @@ class ShardPool(ShardClient):
             "ranges": list(self.ranges),
             "block_rows": self.block_rows,
             "transport": self._source["kind"],
+            "codec": self.codec,
             "restarts": self._restarts,
             "timeouts": self._timeouts,
             "pids": [process.pid if process is not None else None
@@ -324,7 +347,7 @@ class ShardPool(ShardClient):
                 process = self._ctx.Process(
                     target=worker_main,
                     args=(child_conn, self._source, lo, hi, self.block_rows,
-                          self.index_params),
+                          self.index_params, self.codec),
                     name=f"repro-shard-{shard}", daemon=True)
                 process.start()
                 child_conn.close()

@@ -28,39 +28,50 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 
-def _attach(source: Dict[str, Any]):
+def _attach(source: Dict[str, Any], codec: str = "fp32"):
     """Map the item matrix described by ``source``.
 
-    Returns ``(matrix, shm)`` where ``shm`` is the attached shared-memory
-    segment to close on exit (``None`` for the memmap transport).
+    Returns ``(matrix, quantized, shm)`` where ``quantized`` is the
+    zero-copy int8 sidecar when ``codec == "int8"`` (``None`` otherwise)
+    and ``shm`` is the attached shared-memory segment to close on exit
+    (``None`` for the memmap transport).  The int8 codec requires the
+    layout transport: its codes live in sidecar files next to the matrix,
+    which a shared-memory segment has no analogue for.
     """
     kind = source.get("kind")
     if kind == "layout":
         from .layout import ItemMatrixLayout
 
         layout = ItemMatrixLayout.open(source["directory"])
-        return layout.matrix(), None
+        quantized = None
+        if codec == "int8":
+            quantized = layout.quantized()
+        return layout.matrix(), quantized, None
     if kind == "shm":
+        if codec == "int8":
+            raise ValueError(
+                "the int8 catalogue codec requires the memmap transport")
         from multiprocessing import shared_memory
 
         segment = shared_memory.SharedMemory(name=source["name"])
         matrix = np.ndarray(tuple(source["shape"]),
                             dtype=np.dtype(source["dtype"]),
                             buffer=segment.buf)
-        return matrix, segment
+        return matrix, None, segment
     raise ValueError(f"unknown matrix source kind {kind!r}")
 
 
 def worker_main(conn, source: Dict[str, Any], lo: int, hi: int,
-                block_rows: int, index_params: Optional[Dict]) -> None:
+                block_rows: int, index_params: Optional[Dict],
+                codec: str = "fp32") -> None:
     """Entry point executed in the spawned worker process."""
     from .client import single_shard_search
 
     index_cache: Dict[str, Any] = {}
-    matrix = segment = None
+    matrix = segment = quantized = None
     crash_armed = False
     try:
-        matrix, segment = _attach(source)
+        matrix, quantized, segment = _attach(source, codec)
         while True:
             try:
                 op, seq, payload = conn.recv()
@@ -74,7 +85,7 @@ def worker_main(conn, source: Dict[str, Any], lo: int, hi: int,
                         matrix, lo, hi,
                         payload["queries"], payload["k"], payload["exclude"],
                         payload["backend"], payload["overfetch"],
-                        block_rows, index_params, index_cache)
+                        block_rows, index_params, index_cache, quantized)
                     conn.send(("ok", seq, result))
                 elif op == "ping":
                     conn.send(("ok", seq, os.getpid()))

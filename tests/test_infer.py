@@ -777,6 +777,72 @@ class TestBenchRegressionGate:
         fresh = {"sustainable_rps": 95.0}
         assert self._run(gate, tmp_path, baseline, fresh) == 0
 
+    # -- lower-is-better metrics (bytes per item, latency) -------------- #
+    def test_fails_on_bytes_per_item_rise(self, gate, tmp_path):
+        """A memory regression — the quantized footprint growing — must
+        fail the gate even though every throughput metric is steady."""
+        baseline = {"quantized_bytes_per_item": 36.0, "scan_rate_per_s": 10.0}
+        fresh = {"quantized_bytes_per_item": 72.0, "scan_rate_per_s": 10.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_bytes_per_item_within_tolerance_passes(self, gate, tmp_path):
+        baseline = {"quantized_bytes_per_item": 36.0}
+        fresh = {"quantized_bytes_per_item": 36.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
+    def test_lower_is_better_improvement_passes(self, gate, tmp_path):
+        """Shrinking is the good direction — a large drop must not trip
+        the higher-is-better threshold logic."""
+        baseline = {"quantized_bytes_per_item": 132.0, "p95_ms": 40.0}
+        fresh = {"quantized_bytes_per_item": 36.0, "p95_ms": 10.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
+    def test_latency_rise_gets_the_wider_absolute_tolerance(self, gate,
+                                                            tmp_path):
+        """A 30% latency rise sits inside the hardware-variance band while
+        the same rise on a bytes-per-item footprint (a format property)
+        fails at the tighter relative tolerance."""
+        baseline = {"p95_ms": 100.0}
+        fresh = {"p95_ms": 130.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+        baseline = {"quantized_bytes_per_item": 100.0}
+        fresh = {"quantized_bytes_per_item": 130.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_fails_on_large_latency_rise(self, gate, tmp_path):
+        baseline = {"p95_ms": 100.0}
+        fresh = {"p95_ms": 200.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_missing_lower_is_better_metric_fails(self, gate, tmp_path):
+        baseline = {"quantized_bytes_per_item": 36.0}
+        fresh = {"other": 1.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_declared_skip_excuses_lower_is_better_metric(self, gate,
+                                                          tmp_path):
+        baseline = {"rss_peak_scan_ms": 12.0}
+        fresh = {"skipped_metrics": {
+            "rss_peak_scan_ms": "cpu_count=1: timer noise"}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
+    def test_samples_mode_fails_on_significant_latency_rise(self, gate,
+                                                            tmp_path):
+        """With per-round samples on both sides the Mann-Whitney test runs
+        in the rise direction for lower-is-better metrics."""
+        baseline = {"scan_ms": 10.0,
+                    "samples": {"scan_ms": [10.0, 10.5, 10.2, 10.1]}}
+        fresh = {"scan_ms": 20.0,
+                 "samples": {"scan_ms": [20.0, 20.5, 20.2, 20.1]}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_samples_mode_passes_latency_improvement(self, gate, tmp_path):
+        baseline = {"scan_ms": 20.0,
+                    "samples": {"scan_ms": [20.0, 20.5, 20.2, 20.1]}}
+        fresh = {"scan_ms": 10.0,
+                 "samples": {"scan_ms": [10.0, 10.5, 10.2, 10.1]}}
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+
     def test_missing_fresh_file_fails(self, gate, tmp_path):
         import json
 

@@ -640,6 +640,14 @@ class TestPoolFaultInjection:
                         outcomes.append("ok")
                     except WorkerCrashed:
                         outcomes.append("crash")
+                        # The next search respawns the killed worker — a
+                        # fresh interpreter that re-imports numpy and
+                        # re-attaches the matrix.  On a loaded single-core
+                        # box that startup can exceed the tight gather
+                        # budget and turn a deterministic "ok" into a
+                        # spurious "timeout", so wait for the respawn on a
+                        # wide budget before resuming the tight one.
+                        pool.ping(timeout=60.0)
                     except ShardTimeout:
                         outcomes.append("timeout")
             finally:

@@ -20,10 +20,12 @@ files against the committed baselines and exits non-zero when
 * any **parity flag** (``identical_*``) flipped from true to false — a
   bit-identity guarantee breaking is a correctness bug, never noise, or
 * any **lower-is-better** metric *rose* beyond its tolerance: latency
-  metrics (``*_ms``, gated at ``--absolute-tolerance`` — they carry the
-  baseline machine's speed just like absolute throughput) and memory
-  footprints (``*_bytes_per_item``, gated at ``--tolerance`` — a storage
-  format's size per item is a property of the format, not the machine).
+  metrics (``*_ms``) and resident-memory peaks (``*_mb``) gate at
+  ``--absolute-tolerance`` — they carry the baseline machine's speed /
+  page-cache behaviour just like absolute throughput — while memory
+  footprints (``*_bytes_per_item``) gate at the tighter ``--tolerance``
+  because a storage format's size per item is a property of the format,
+  not the machine.
 
 A tracked metric that the baseline has but the fresh run lacks is a failure
 ("disappeared") — unless the fresh file *declares* the omission in a
@@ -95,9 +97,9 @@ RELATIVE_SUFFIXES = ("speedup",)
 PARITY_PREFIXES = ("identical",)
 
 #: lower-is-better suffixes gated in the opposite direction (a *rise*
-#: fails): wall-clock latencies carry hardware variance like absolute
-#: throughput does ...
-LOWER_ABSOLUTE_SUFFIXES = ("_ms",)
+#: fails): wall-clock latencies and resident-memory peaks carry hardware
+#: variance like absolute throughput does ...
+LOWER_ABSOLUTE_SUFFIXES = ("_ms", "_mb")
 
 #: ... while bytes-per-item footprints are properties of the storage format
 #: itself, so they gate at the tighter relative tolerance

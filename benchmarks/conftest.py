@@ -38,19 +38,48 @@ def run_once(benchmark, func, **kwargs):
     return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
 
 
-def rss_peak_mb() -> float:
-    """This process's peak resident set size so far, in MiB.
+def reset_rss_peak() -> bool:
+    """Reset this process's peak-RSS high-water mark to its *current* RSS.
 
-    Reads ``resource.getrusage`` — ``ru_maxrss`` is kilobytes on Linux and
-    bytes on macOS — so memory-lean claims (the int8 catalogue scan keeping
-    the fp32 rows untouched on disk) can be recorded next to the throughput
-    numbers.  The value is a high-water mark for the whole process, not a
-    delta: record it once at the end of the measured section and compare
-    across runs of the same benchmark layout.
+    Writes ``5`` to ``/proc/self/clear_refs`` (Linux), which zeroes the
+    kernel's ``VmHWM`` so the next :func:`rss_peak_mb` reads the peak of
+    the section that follows, not of the whole process lifetime.  Without
+    this, a bench section's "peak RSS" inherits whatever earlier suite
+    sections happened to fault in — the number then depends on test
+    ordering, not on the section being measured.  Returns ``False`` where
+    unsupported (macOS, restricted /proc), in which case
+    :func:`rss_peak_mb` keeps reporting the process-lifetime peak.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w", encoding="ascii") as handle:
+            handle.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def rss_peak_mb() -> float:
+    """This process's peak resident set size, in MiB, since the last
+    successful :func:`reset_rss_peak` (or process start).
+
+    Prefers ``VmHWM`` from ``/proc/self/status`` because it is resettable
+    per section; falls back to ``resource.getrusage`` where /proc is
+    unavailable — ``ru_maxrss`` is kilobytes on Linux and bytes on macOS,
+    and is a process-lifetime high-water mark.  Lets memory-lean claims
+    (the int8 catalogue scan keeping the fp32 rows untouched on disk) be
+    recorded next to the throughput numbers: call ``reset_rss_peak()`` at
+    the start of the measured section and this at its end.
     """
     import resource
     import sys
 
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) / 1024.0  # kB -> MiB
+    except OSError:
+        pass
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if sys.platform == "darwin":
         return peak / (1024.0 * 1024.0)

@@ -25,10 +25,13 @@ Three headline measurements, one artifact:
   bit (the shard-parity contract, gate-tracked as a parity flag).
 
 Results go to ``BENCH_resilience.json`` at the repository root (committed,
-uploaded as a CI artifact).  On single-core runners the goodput metrics are
-declared in ``skipped_metrics``: with the load generator's sender threads
-and the service sharing one core, "overload" measures scheduler
-interleaving, not admission control.
+uploaded as a CI artifact).  On single-core runners the goodput metrics
+and both search wall-clocks (``healthy_search_ms``, ``recovery_ms``) are
+declared in ``skipped_metrics``: with the load generator's sender threads,
+the worker processes and the measuring thread all time-slicing one core,
+"overload" measures scheduler interleaving rather than admission control
+and the search timings measure contention rather than serving or recovery
+cost (see :func:`_single_core_skips`).
 """
 
 from __future__ import annotations
@@ -248,15 +251,41 @@ def run_resilience(scale: str = "bench") -> dict:
         },
     }
     result.update(recovery)
-    if (cpu_count or 1) < 2:
-        reason = (f"cpu_count={cpu_count}: the load generator's sender "
-                  f"threads and the service share one core, so overload "
-                  f"measures scheduler interleaving, not admission control")
-        result["skipped_metrics"] = {
-            "goodput_admission_rps": reason,
-            "goodput_speedup": reason,
-        }
+    result.update(_single_core_skips(cpu_count))
     return result
+
+
+def _single_core_skips(cpu_count: int | None) -> dict:
+    """``skipped_metrics`` declarations for single-core runners, or ``{}``.
+
+    The goodput metrics measure scheduler interleaving there, not
+    admission control; the search wall-clocks are gated by their ``_ms``
+    suffix but the scatter-gather workers (and, for ``recovery_ms``, the
+    respawned worker) time-slice the measuring thread's core, so what they
+    measure is contention, not serving or recovery cost.  The metrics are
+    still *recorded* (the numbers are meaningful enough to eyeball) — the
+    declaration only stops ``check_regression.py`` from gating on them.
+    """
+    if (cpu_count or 1) >= 2:
+        return {}
+    goodput_reason = (
+        f"cpu_count={cpu_count}: the load generator's sender "
+        f"threads and the service share one core, so overload "
+        f"measures scheduler interleaving, not admission control")
+    scatter_reason = (
+        f"cpu_count={cpu_count}: the scatter-gather fans out to worker "
+        f"processes that time-slice the measuring thread's core, so the "
+        f"search wall-clock measures scheduler contention, not serving "
+        f"latency")
+    return {"skipped_metrics": {
+        "goodput_admission_rps": goodput_reason,
+        "goodput_speedup": goodput_reason,
+        "healthy_search_ms": scatter_reason,
+        "recovery_ms": (
+            f"cpu_count={cpu_count}: the respawned worker and the "
+            f"measuring thread time-slice one core, so the faulted-search "
+            f"wall-clock measures scheduler contention, not recovery cost"),
+    }}
 
 
 def test_resilience(benchmark, scale):

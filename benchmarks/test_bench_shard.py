@@ -46,7 +46,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import rss_peak_mb, run_once
+from conftest import reset_rss_peak, rss_peak_mb, run_once
 
 from repro.data.synthetic import synthetic_item_matrix_layout
 from repro.shard import LocalShardClient, ShardPool
@@ -148,6 +148,10 @@ def _bench_workers(layout, num_workers, num_requests,
                    codec: str = "fp32") -> dict:
     rng = np.random.default_rng(num_workers)
     queries = rng.standard_normal((BATCH, layout.dim)).astype(np.float32)
+    # Peak RSS is measured per section: without the reset, the kernel's
+    # high-water mark inherits whatever earlier suite sections faulted in
+    # and the recorded "scan footprint" depends on test ordering.
+    reset_rss_peak()
     with ShardPool.from_layout(layout, num_workers,
                                timeout=POOL_TIMEOUT, codec=codec) as pool:
         _scan_stream(pool, queries, 2)  # warm-up: page in the memmaps

@@ -678,6 +678,67 @@ class TestBenchRegressionGate:
             assert "scan_speedup" not in fields
             assert "scan_speedup" in fields["skipped_metrics"]
 
+    @staticmethod
+    def _load_bench_module(stem):
+        import importlib.util
+        import pathlib
+        import sys
+
+        bench_dir = (pathlib.Path(__file__).resolve().parents[1]
+                     / "benchmarks")
+        saved_conftest = sys.modules.pop("conftest", None)
+        sys.path.insert(0, str(bench_dir))
+        try:
+            spec = importlib.util.spec_from_file_location(
+                f"bench_{stem}_module", bench_dir / f"{stem}.py")
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+        finally:
+            sys.path.remove(str(bench_dir))
+            sys.modules.pop("conftest", None)
+            if saved_conftest is not None:
+                sys.modules["conftest"] = saved_conftest
+        return module
+
+    def test_resilience_bench_declares_single_core_skips(self):
+        """On single-core machines the resilience bench must declare its
+        contention-bound metrics — the goodput pair AND recovery_ms (gated
+        by its _ms suffix) — so a 1-core refresh cannot commit numbers the
+        gate classifies as regressions of multi-core baselines."""
+        module = self._load_bench_module("test_bench_resilience")
+        assert module._single_core_skips(4) == {}
+        for cores in (1, None):
+            skips = module._single_core_skips(cores)["skipped_metrics"]
+            assert set(skips) == {"goodput_admission_rps", "goodput_speedup",
+                                  "healthy_search_ms", "recovery_ms"}
+            assert all(f"cpu_count={cores}" in reason
+                       for reason in skips.values())
+
+    def test_rss_peak_resets_per_section(self):
+        """reset_rss_peak + rss_peak_mb must measure the *section's* peak:
+        after a large allocation is freed and the high-water mark reset,
+        the reported peak must fall back toward current RSS instead of
+        keeping the process-lifetime maximum (which made the recorded
+        scan footprint depend on whatever ran earlier in the process)."""
+        module = self._load_bench_module("conftest")
+        if not module.reset_rss_peak():
+            pytest.skip("peak-RSS reset unsupported (no /proc/self/clear_refs)")
+        import mmap
+
+        size = 64 * 1024 * 1024
+        floor = module.rss_peak_mb()
+        # Anonymous mmap: unlike a heap allocation (which the allocator may
+        # satisfy from already-resident freed pages, leaving RSS flat),
+        # these pages are new, so faulting them must raise the peak.
+        ballast = mmap.mmap(-1, size)
+        for offset in range(0, size, mmap.PAGESIZE):
+            ballast[offset] = 1
+        inflated = module.rss_peak_mb()
+        assert inflated >= floor + 50.0
+        ballast.close()  # unmapped: RSS provably drops by the ballast size
+        assert module.reset_rss_peak()
+        assert module.rss_peak_mb() <= inflated - 50.0
+
     def test_fails_on_null_tracked_metric(self, gate, tmp_path):
         """A NaN/inf measurement serialises to JSON null; the gate must not
         let a tracked metric silently stop being a number."""
@@ -813,6 +874,21 @@ class TestBenchRegressionGate:
         baseline = {"p95_ms": 100.0}
         fresh = {"p95_ms": 200.0}
         assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_fails_on_rss_peak_rise(self, gate, tmp_path):
+        """A resident-memory blow-up — the scan faulting 5x the baseline
+        into RSS — must fail the gate like a latency rise does."""
+        baseline = {"rss_peak_mb": 80.0}
+        fresh = {"rss_peak_mb": 428.0}
+        assert self._run(gate, tmp_path, baseline, fresh) == 1
+
+    def test_rss_peak_within_tolerance_or_shrinking_passes(self, gate,
+                                                           tmp_path):
+        baseline = {"rss_peak_mb": 80.0}
+        fresh = {"rss_peak_mb": 100.0}  # +25%: inside the 35% band
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
+        fresh = {"rss_peak_mb": 20.0}  # shrinking is the good direction
+        assert self._run(gate, tmp_path, baseline, fresh) == 0
 
     def test_missing_lower_is_better_metric_fails(self, gate, tmp_path):
         baseline = {"quantized_bytes_per_item": 36.0}
